@@ -1,0 +1,54 @@
+"""Benchmark E3 — leader-absence detection (Lemma 3.7 / Section 3.2).
+
+From leaderless starts, measure the steps until the first leader is created:
+with saturated clocks (isolating the token-check machinery, bounded by
+``O(n log^2 n)`` steps) and with cold clocks (the full pipeline, bounded by
+``O(n^2 log n)`` steps).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.detection import measure_detection
+from repro.experiments.reporting import format_table
+
+
+def _print(rows) -> None:
+    print()
+    print(format_table(
+        headers=["n", "start", "mean steps", "max steps", "all converged"],
+        rows=[(r.population_size, r.start, r.mean_steps, r.max_steps, r.all_converged)
+              for r in rows],
+        title="E3 — steps until a leader is created from a leaderless start",
+    ))
+
+
+def test_detection_hot_clocks(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: measure_detection(bench_config, hot_clocks=True), rounds=1, iterations=1
+    )
+    _print(rows)
+    assert all(row.all_converged for row in rows)
+
+
+def test_detection_cold_clocks(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: measure_detection(bench_config, hot_clocks=False), rounds=1, iterations=1
+    )
+    _print(rows)
+    assert all(row.all_converged for row in rows)
+
+
+def test_detection_hot_is_faster_than_cold(benchmark, bench_config):
+    """The mode-determination phase dominates: hot-clock detection is much cheaper."""
+
+    def measure_both():
+        return (
+            measure_detection(bench_config, hot_clocks=True),
+            measure_detection(bench_config, hot_clocks=False),
+        )
+
+    hot, cold = benchmark.pedantic(measure_both, rounds=1, iterations=1)
+    _print(hot)
+    _print(cold)
+    for hot_row, cold_row in zip(hot, cold):
+        assert hot_row.mean_steps <= cold_row.mean_steps

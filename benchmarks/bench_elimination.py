@@ -1,0 +1,48 @@
+"""Benchmark E4 — leader elimination (Lemma 4.11 / Section 3.4).
+
+From all-leader and half-leader starts, measure the steps until exactly one
+leader remains.  The paper bounds this at ``O(n^2)`` expected steps; the
+reproduced shape is that the measured means grow roughly quadratically and
+never drive the leader count to zero.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import best_growth_law
+from repro.experiments.elimination import measure_elimination
+from repro.experiments.reporting import format_table
+
+
+def _print(rows, fits=None) -> None:
+    print()
+    print(format_table(
+        headers=["n", "initial leaders", "mean steps", "max steps", "all converged"],
+        rows=[(r.population_size, r.initial_leaders, r.mean_steps, r.max_steps,
+               r.all_converged) for r in rows],
+        title="E4 — steps until exactly one leader remains",
+    ))
+    if fits:
+        print(format_table(
+            headers=["growth law", "coefficient", "relative error"],
+            rows=[(fit.law, fit.coefficient, fit.relative_error) for fit in fits],
+            title="growth-law fits (best first)",
+        ))
+
+
+def test_elimination_from_all_leaders(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: measure_elimination(bench_config, "all"), rounds=1, iterations=1
+    )
+    fits = best_growth_law([r.population_size for r in rows], [r.mean_steps for r in rows])
+    _print(rows, fits)
+    assert all(row.all_converged for row in rows)
+    # Sub-cubic shape: the n^3 law is never the best description.
+    assert fits[0].law != "n^3"
+
+
+def test_elimination_from_half_leaders(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: measure_elimination(bench_config, "half"), rounds=1, iterations=1
+    )
+    _print(rows)
+    assert all(row.all_converged for row in rows)

@@ -1,0 +1,40 @@
+"""Benchmark F1 — Figure 1: the segment-ID embedding.
+
+From a single-leader, fully unconstructed configuration, the construction
+phase must reach a *perfect* configuration (Equations (1)-(2)): distances
+increase modulo ``2*psi``, borders split the ring into segments of length
+``psi``, and segment IDs increase by one clockwise away from the leader.
+The benchmark regenerates the embedding for each configured ring size and
+prints the same picture Figure 1 draws.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import regenerate_figure1
+
+
+def test_figure1_embedding(benchmark, bench_config):
+    sizes = list(bench_config.sizes)
+
+    def build_all():
+        return [
+            regenerate_figure1(n, kappa_factor=bench_config.kappa_factor,
+                               max_steps=bench_config.max_steps, seed=bench_config.seed)
+            for n in sizes
+        ]
+
+    results = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print()
+    for result in results:
+        print(f"n={result.population_size}: perfect={result.perfect} "
+              f"after {result.steps_to_perfect} steps; segment IDs={result.segment_ids}")
+        print(result.rendering)
+    assert all(result.perfect for result in results)
+    for result in results:
+        ids = result.segment_ids
+        # Segment IDs increase by one clockwise, ignoring the first and last
+        # segments around the leader (which Figure 1 draws in bold as
+        # unconstrained).
+        interior = ids[1:-1]
+        for previous, current in zip(interior, interior[1:]):
+            assert current == previous + 1

@@ -1,0 +1,33 @@
+"""Benchmark F2 — Figure 2: the zig-zag trajectory of a token.
+
+A token generated at a black border must visit the targets
+``u_psi, u_1, u_{psi+1}, u_2, ...`` and disappear at ``u_{2*psi-1}`` after
+exactly ``2*psi^2 - 2*psi + 1`` moves (Definition 3.4).  The benchmark drives
+one token with the deterministic interaction sequence of Lemma 3.5, records
+its position after every move, and checks the length and the turning points
+against the figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import regenerate_figure2
+
+
+@pytest.mark.parametrize("psi", [3, 4, 5, 6])
+def test_figure2_trajectory(benchmark, psi):
+    result = benchmark.pedantic(lambda: regenerate_figure2(psi=psi), rounds=1, iterations=1)
+    print(f"\npsi={psi}: moves={result.observed_moves} expected={result.expected_moves} "
+          f"turning points={result.turning_points}")
+    assert result.matches_definition
+    # Turning points alternate between the right targets psi, psi+1, ... and
+    # the left targets 1, 2, ... exactly as drawn in Figure 2.
+    rights = result.turning_points[0::2]
+    lefts = result.turning_points[1::2]
+    assert rights == list(range(psi, psi + len(rights)))
+    assert lefts == list(range(1, len(lefts) + 1))
+    # The trajectory starts at the generating border and ends at the final
+    # destination u_{2*psi-1}.
+    assert result.positions[0] == 0
+    assert result.positions[-1] == 2 * psi - 1

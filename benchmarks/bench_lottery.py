@@ -1,0 +1,59 @@
+"""Benchmark E5 — the lottery game bounds (Definition 3.8, Lemmas 3.9 and 3.10).
+
+``DetermineMode()``'s correctness rests on two tail bounds for the number of
+lottery-game wins.  The benchmark plays the game many times and checks that
+the empirical violation rate of each bound is (far) below the lemmas' stated
+failure probabilities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lottery import (
+    empirical_check_lemma_3_10,
+    empirical_check_lemma_3_9,
+    expected_wins,
+    lemma_3_10_bound,
+    lemma_3_9_bound,
+    play_lottery_game,
+)
+
+TRIALS = 200
+
+
+@pytest.mark.parametrize("k,c", [(3, 1), (4, 1), (5, 1)])
+def test_lemma_3_9_upper_bound(benchmark, k, c):
+    fraction = benchmark.pedantic(
+        lambda: empirical_check_lemma_3_9(k, c, TRIALS, rng=k * 1000 + c),
+        rounds=1, iterations=1,
+    )
+    bound = lemma_3_9_bound(k, c)
+    print(f"\nLemma 3.9 k={k} c={c}: bound holds in {fraction:.3f} of {TRIALS} trials "
+          f"(required >= {1 - bound['failure_probability']:.3f})")
+    assert fraction >= 1 - bound["failure_probability"] - 0.05
+
+
+@pytest.mark.parametrize("k,c", [(3, 1), (4, 1)])
+def test_lemma_3_10_lower_bound(benchmark, k, c):
+    fraction = benchmark.pedantic(
+        lambda: empirical_check_lemma_3_10(k, c, TRIALS, rng=k * 2000 + c),
+        rounds=1, iterations=1,
+    )
+    bound = lemma_3_10_bound(k, c)
+    print(f"\nLemma 3.10 k={k} c={c}: bound holds in {fraction:.3f} of {TRIALS} trials "
+          f"(required >= {1 - bound['failure_probability']:.3f})")
+    assert fraction >= 1 - bound["failure_probability"] - 0.05
+
+
+def test_win_rate_matches_expectation(benchmark):
+    """Sanity: the measured number of wins tracks the renewal-theory expectation."""
+    k, flips = 4, 200_000
+
+    def play():
+        return play_lottery_game(k, flips, rng=99)
+
+    outcome = benchmark.pedantic(play, rounds=1, iterations=1)
+    expectation = expected_wins(k, flips)
+    print(f"\nwins={outcome.wins} expected~{expectation:.0f}")
+    assert 0.6 * expectation <= outcome.wins <= 1.5 * expectation

@@ -1,0 +1,58 @@
+"""Benchmark E6 — ring orientation ``P_OR`` (Theorem 5.2) and its coloring substrate.
+
+Measures the steps to orient adversarially-pointed rings (on a proper two-hop
+coloring, the paper's standing assumption), fits the growth law (the theorem
+predicts ``O(n^2 log n)``; the measured best fit must not be cubic), and
+measures the substituted two-hop-coloring substrate's convergence.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.orientation import measure_coloring, measure_orientation, orientation_fits
+from repro.experiments.reporting import format_table
+
+
+def _print(rows, title, fits=None) -> None:
+    print()
+    print(format_table(
+        headers=["n", "mean steps", "max steps", "#states", "all converged"],
+        rows=[(r.population_size, r.mean_steps, r.max_steps, r.states, r.all_converged)
+              for r in rows],
+        title=title,
+    ))
+    if fits:
+        print(format_table(
+            headers=["growth law", "coefficient", "relative error"],
+            rows=[(fit.law, fit.coefficient, fit.relative_error) for fit in fits],
+            title="growth-law fits (best first)",
+        ))
+
+
+def test_orientation_convergence(benchmark, bench_config):
+    # Orientation is cheap (O(n^2) steps in practice), so this benchmark uses
+    # a wider size range and more trials than the shared config to get a
+    # stable growth-law fit.
+    from repro.experiments import ExperimentConfig
+
+    config = ExperimentConfig(sizes=(12, 24, 48), trials=5,
+                              max_steps=bench_config.max_steps,
+                              kappa_factor=bench_config.kappa_factor,
+                              seed=bench_config.seed)
+    rows = benchmark.pedantic(
+        lambda: measure_orientation(config), rounds=1, iterations=1
+    )
+    fits = orientation_fits(rows)
+    _print(rows, "E6 — P_OR: steps to a common orientation", fits)
+    assert all(row.all_converged for row in rows)
+    # Constant state count, independent of n.
+    assert len({row.states for row in rows}) == 1
+    assert fits[0].law != "n^3"
+
+
+def test_two_hop_coloring_substrate(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        lambda: measure_coloring(bench_config), rounds=1, iterations=1
+    )
+    _print(rows, "E6 (substrate) — two-hop coloring: steps to a proper coloring")
+    assert all(row.all_converged for row in rows)
+    assert len({row.states for row in rows}) == 1

@@ -1,0 +1,52 @@
+"""Benchmark E7 — interaction-sequence occurrence times (Lemma 2.3).
+
+Every convergence argument in the paper reduces to "this interaction sequence
+occurs within so-many steps".  Lemma 2.3 gives the two quantitative forms:
+a length-``l`` sequence occurs within ``n*l`` steps in expectation and within
+``O(c*n*(l + log n))`` steps w.h.p.  The benchmark samples the completion time
+of the sequences the proofs actually use (full clockwise sweeps and the
+token round trip of Lemma 3.5) and checks both forms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sequences import sample_sequence_timing, whp_bound
+from repro.core.scheduler import full_clockwise_sweep, token_round_trip
+from repro.topology.ring import DirectedRing
+
+TRIALS = 20
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_full_sweep_timing(benchmark, n):
+    ring = DirectedRing(n)
+    sequence = full_clockwise_sweep(ring)
+
+    summary = benchmark.pedantic(
+        lambda: sample_sequence_timing(sequence, ring, TRIALS, rng=n),
+        rounds=1, iterations=1,
+    )
+    print(f"\nn={n} seq_R(0,n): mean={summary.mean_steps:.0f} "
+          f"bound n*l={summary.expected_upper_bound:.0f} "
+          f"whp bound={whp_bound(len(sequence), n):.0f} max={summary.max_steps:.0f}")
+    # First claim of Lemma 2.3: expectation at most n*l (allow sampling noise).
+    assert summary.mean_steps <= 1.3 * summary.expected_upper_bound
+    # Second claim: the worst observed trial respects the w.h.p. bound.
+    assert summary.max_steps <= whp_bound(len(sequence), n, c=2.0)
+
+
+@pytest.mark.parametrize("psi", [3, 4])
+def test_token_round_trip_timing(benchmark, psi):
+    n = 4 * psi
+    ring = DirectedRing(n)
+    sequence = token_round_trip(ring, segment_start=0, psi=psi)
+
+    summary = benchmark.pedantic(
+        lambda: sample_sequence_timing(sequence, ring, TRIALS, rng=psi),
+        rounds=1, iterations=1,
+    )
+    print(f"\npsi={psi} token round trip (l={len(sequence)}): mean={summary.mean_steps:.0f} "
+          f"bound={summary.expected_upper_bound:.0f}")
+    assert summary.mean_steps <= 1.3 * summary.expected_upper_bound

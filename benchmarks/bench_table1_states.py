@@ -1,0 +1,68 @@
+"""Benchmark T1b / E2 — Table 1, #states column, and the polylog(n) claim.
+
+Computes the per-agent state-space size of every Table-1 protocol across a
+wide range of ring sizes and checks the qualitative shape: constant for
+[5]/[15]/[11], linear in ``n`` for [28], polylogarithmic for ``P_PL`` (the
+ratio ``states / log^6 n`` stays bounded while ``states / n`` vanishes).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.states import observed_distinct_states, polylog_ratio, state_count_table
+from repro.experiments.reporting import format_table
+
+#: Wide sweep — state counting is pure arithmetic, so huge n costs nothing.
+#: The polylog-vs-linear separation only becomes visible at very large n
+#: (``log^6 n`` overtakes ``n`` around ``n ~ 2^40``), so the sweep goes far
+#: beyond simulable sizes on purpose.
+SIZES = (2 ** 8, 2 ** 16, 2 ** 24, 2 ** 32, 2 ** 40, 2 ** 48, 2 ** 56)
+
+
+def test_state_count_table(benchmark):
+    rows = benchmark(lambda: state_count_table(SIZES))
+    print()
+    print(format_table(
+        headers=["protocol", "n", "#states", "bits"],
+        rows=[(row.protocol, row.population_size, row.states, row.bits) for row in rows],
+        title="Table 1 — #states column across ring sizes",
+    ))
+    by_protocol = {}
+    for row in rows:
+        by_protocol.setdefault(row.protocol, []).append(row)
+    # Constant-state baselines stay constant.
+    for name in ("FischerJiang", "AngluinModK", "ChenChen"):
+        counts = {row.states for row in by_protocol[name]}
+        assert len(counts) == 1
+    # The O(n)-state baseline grows linearly.
+    yokota = by_protocol["Yokota2021"]
+    assert yokota[-1].states > yokota[0].states * (SIZES[-1] / SIZES[0]) / 2
+    # P_PL grows, but far slower than linearly: states/n shrinks by orders of
+    # magnitude across the sweep, and P_PL ends up far below the O(n)-state
+    # baseline at large n (the paper's headline space improvement).
+    ppl = by_protocol["P_PL"]
+    first_ratio = ppl[0].states / SIZES[0]
+    last_ratio = ppl[-1].states / SIZES[-1]
+    assert last_ratio < first_ratio / 1000
+    assert ppl[-1].states < yokota[-1].states
+
+
+def test_polylog_ratio_bounded(benchmark):
+    ratios = benchmark(lambda: polylog_ratio(SIZES))
+    values = [ratios[n] for n in SIZES]
+    print()
+    print("P_PL states / log^6(n):", {n: round(ratios[n], 1) for n in SIZES})
+    # Bounded (within a small constant band) across many orders of magnitude of n.
+    assert max(values) <= 12 * min(values)
+
+
+def test_observed_distinct_states(benchmark):
+    """Empirical cross-check: states actually visited stay far below the formula bound."""
+    visited = benchmark.pedantic(
+        lambda: observed_distinct_states(n=16, steps=20_000, kappa_factor=4, seed=3),
+        rounds=1, iterations=1,
+    )
+    from repro.protocols.ppl import PPLParams
+
+    bound = PPLParams.for_population(16, kappa_factor=4).state_space_size()
+    print(f"\nvisited {visited} distinct states (formula bound {bound})")
+    assert 0 < visited < bound

@@ -1,0 +1,55 @@
+"""repro: reproduction of the PODC 2023 near time-optimal SS-LE ring protocol.
+
+The package implements, from scratch, the population-protocol simulation
+substrate, the paper's protocol ``P_PL`` (self-stabilizing leader election on
+directed rings with ``polylog(n)`` states), the ring-orientation protocol
+``P_OR``, the Table-1 baseline protocols, and the experiment harnesses that
+regenerate every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import DirectedRing, PPLProtocol, Simulation
+>>> from repro.protocols.ppl import adversarial_configuration, is_safe
+>>> protocol = PPLProtocol.for_population(16, kappa_factor=4)
+>>> ring = DirectedRing(16)
+>>> start = adversarial_configuration(16, protocol.params, rng=1)
+>>> sim = Simulation(protocol, ring, start, rng=2)
+>>> result = sim.run_until(lambda s: is_safe(s, protocol.params),
+...                        max_steps=400_000, check_interval=64)
+>>> result.satisfied
+True
+"""
+
+from repro.core import (
+    Configuration,
+    ConvergenceError,
+    RandomSource,
+    ReproError,
+    RunResult,
+    SequenceScheduler,
+    Simulation,
+    UniformRandomScheduler,
+)
+from repro.protocols.ppl import PPLParams, PPLProtocol, PPLState
+from repro.topology import CompleteGraph, DirectedRing, Population, UndirectedRing
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompleteGraph",
+    "Configuration",
+    "ConvergenceError",
+    "DirectedRing",
+    "PPLParams",
+    "PPLProtocol",
+    "PPLState",
+    "Population",
+    "RandomSource",
+    "ReproError",
+    "RunResult",
+    "SequenceScheduler",
+    "Simulation",
+    "UndirectedRing",
+    "UniformRandomScheduler",
+    "__version__",
+]

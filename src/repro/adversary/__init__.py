@@ -1,0 +1,29 @@
+"""Adversarial initial-configuration catalogue for self-stabilization experiments."""
+
+from repro.adversary.initial_configs import (
+    ADVERSARIES,
+    adversary_by_name,
+    all_leaders,
+    build,
+    corrupted_safe,
+    half_leaders,
+    invalid_tokens,
+    leaderless_hot,
+    leaderless_trap,
+    stale_signals,
+    uniform,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "adversary_by_name",
+    "all_leaders",
+    "build",
+    "corrupted_safe",
+    "half_leaders",
+    "invalid_tokens",
+    "leaderless_hot",
+    "leaderless_trap",
+    "stale_signals",
+    "uniform",
+]

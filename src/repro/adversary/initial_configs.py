@@ -1,0 +1,135 @@
+"""Adversarial initial-configuration generators.
+
+Self-stabilization quantifies over *every* initial configuration, so the
+experiments draw starting points from a catalogue of adversaries rather than
+a single distribution.  Each generator returns a
+:class:`~repro.core.configuration.Configuration` for the ``P_PL`` state space;
+protocol-specific adversaries for the baselines live next to their protocols.
+
+The catalogue (used by the convergence experiments and the failure-injection
+tests):
+
+``uniform``
+    every field of every agent drawn independently at random — the default
+    adversary of the literature;
+``leaderless_trap``
+    no leader, distances and segment IDs as self-consistent as the topology
+    allows, clocks cold — the configuration from which detection takes the
+    longest;
+``leaderless_hot``
+    the same but with every clock already saturated (isolates the
+    token-checking machinery, Lemma 3.7's ``C_det``);
+``all_leaders``
+    every agent a freshly created leader — the elimination stress test;
+``half_leaders``
+    every second agent a leader;
+``corrupted_safe``
+    a safe configuration with a handful of agents overwritten at random —
+    the transient-fault recovery scenario;
+``invalid_tokens``
+    a safe configuration sprinkled with off-trajectory tokens;
+``stale_signals``
+    a leaderless configuration in which resetting signals with maximal TTL
+    and bullet-absence signals survive from a previous incarnation — the
+    machinery must flush them before it can detect anything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.configuration import Configuration
+from repro.core.errors import InvalidParameterError
+from repro.core.rng import RandomSource, ensure_source
+from repro.protocols.ppl import (
+    MODE_CONSTRUCT,
+    PPLParams,
+    PPLState,
+    adversarial_configuration,
+    all_leaders_configuration,
+    configuration_with_invalid_tokens,
+    corrupted_safe_configuration,
+    leaderless_configuration,
+    many_leaders_configuration,
+)
+
+#: Signature shared by every adversary: (n, params, rng) -> Configuration.
+Adversary = Callable[[int, PPLParams, RandomSource], Configuration]
+
+
+def uniform(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """Independently uniform states — the standard adversary."""
+    return adversarial_configuration(n, params, rng)
+
+
+def leaderless_trap(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """Leaderless, self-consistent, cold clocks: the slowest detection scenario."""
+    del rng  # deterministic by construction
+    return leaderless_configuration(n, params, detection_mode=False)
+
+
+def leaderless_hot(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """Leaderless with saturated clocks: detection machinery active from step one."""
+    del rng
+    return leaderless_configuration(n, params, detection_mode=True)
+
+
+def all_leaders(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """Every agent is a leader."""
+    del rng
+    return all_leaders_configuration(n, params)
+
+
+def half_leaders(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """Roughly every second agent is a leader, at random positions."""
+    return many_leaders_configuration(n, params, leaders=max(1, n // 2), rng=rng)
+
+
+def corrupted_safe(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """A converged population hit by transient faults at a quarter of the agents."""
+    return corrupted_safe_configuration(n, params, corruptions=max(1, n // 4), rng=rng)
+
+
+def invalid_tokens(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """A safe-looking configuration with off-trajectory tokens planted on it."""
+    return configuration_with_invalid_tokens(n, params, rng=rng)
+
+
+def stale_signals(n: int, params: PPLParams, rng: RandomSource) -> Configuration:
+    """Leaderless but full of leftover resetting and bullet-absence signals."""
+    configuration = leaderless_configuration(n, params, detection_mode=False)
+    states: List[PPLState] = configuration.states()
+    for agent, state in enumerate(states):
+        state.mode = MODE_CONSTRUCT
+        state.signal_r = params.kappa_max if agent % 3 == 0 else rng.randint(0, params.kappa_max)
+        state.signal_b = 1 if agent % 2 == 0 else 0
+        state.bullet = rng.randint(0, 2)
+    return Configuration(states)
+
+
+#: Registry used by the experiment harness and the failure-injection tests.
+ADVERSARIES: Dict[str, Adversary] = {
+    "uniform": uniform,
+    "leaderless_trap": leaderless_trap,
+    "leaderless_hot": leaderless_hot,
+    "all_leaders": all_leaders,
+    "half_leaders": half_leaders,
+    "corrupted_safe": corrupted_safe,
+    "invalid_tokens": invalid_tokens,
+    "stale_signals": stale_signals,
+}
+
+
+def adversary_by_name(name: str) -> Adversary:
+    """Look up an adversary; raises :class:`InvalidParameterError` for unknown names."""
+    try:
+        return ADVERSARIES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(ADVERSARIES))
+        raise InvalidParameterError(f"unknown adversary {name!r}; known: {known}") from exc
+
+
+def build(name: str, n: int, params: PPLParams,
+          rng: "RandomSource | int | None" = None) -> Configuration:
+    """Build the named adversarial configuration."""
+    return adversary_by_name(name)(n, params, ensure_source(rng))

@@ -1,0 +1,79 @@
+"""Analysis toolkit: convergence measurement, lottery game, sequences, stats, state counts."""
+
+from repro.analysis.convergence import (
+    ClosureReport,
+    ConvergenceResult,
+    closure_check,
+    leader_count_trajectory,
+    measure_convergence,
+)
+from repro.analysis.lottery import (
+    LotteryOutcome,
+    empirical_check_lemma_3_10,
+    empirical_check_lemma_3_9,
+    expected_wins,
+    lemma_3_10_bound,
+    lemma_3_9_bound,
+    play_lottery_game,
+    win_counts,
+    win_probability_per_round,
+)
+from repro.analysis.sequences import (
+    SequenceTimingSummary,
+    SequenceTracker,
+    sample_sequence_timing,
+    steps_until_sequence,
+    whp_bound,
+)
+from repro.analysis.states import (
+    StateCountRow,
+    observed_distinct_states,
+    polylog_ratio,
+    ppl_state_count,
+    state_count_table,
+)
+from repro.analysis.stats import (
+    GROWTH_LAWS,
+    SampleSummary,
+    ScalingFit,
+    best_growth_law,
+    chernoff_lower,
+    chernoff_upper,
+    fit_growth_law,
+    ratio_table,
+)
+
+__all__ = [
+    "ClosureReport",
+    "ConvergenceResult",
+    "GROWTH_LAWS",
+    "LotteryOutcome",
+    "SampleSummary",
+    "ScalingFit",
+    "SequenceTimingSummary",
+    "SequenceTracker",
+    "StateCountRow",
+    "best_growth_law",
+    "chernoff_lower",
+    "chernoff_upper",
+    "closure_check",
+    "empirical_check_lemma_3_10",
+    "empirical_check_lemma_3_9",
+    "expected_wins",
+    "fit_growth_law",
+    "leader_count_trajectory",
+    "lemma_3_10_bound",
+    "lemma_3_9_bound",
+    "measure_convergence",
+    "observed_distinct_states",
+    "play_lottery_game",
+    "polylog_ratio",
+    "ppl_state_count",
+    "ratio_table",
+    "sample_sequence_timing",
+    "state_count_table",
+    "steps_until_sequence",
+    "whp_bound",
+    "win_counts",
+    "win_probability_per_round",
+]

@@ -1,0 +1,148 @@
+"""The lottery game of Definition 3.8 and the bounds of Lemmas 3.9 / 3.10.
+
+``DetermineMode()`` paces both the decay of resetting signals and the growth
+of the detection clocks with a simple stochastic game: a player flips fair
+coins; a round ends at the first tail or after ``k`` consecutive heads, and
+the player *wins* the round in the latter case.  ``W_LG(k, l)`` is the number
+of rounds won within the first ``l`` flips.
+
+In the protocol, one "flip" is one interaction of an agent (heads = the agent
+interacted with its left neighbor, i.e. its ``hits`` counter advanced), and a
+win (``hits`` reaching ``psi``) is what decrements a signal's TTL or advances
+a clock.  The two lemmas the convergence proof leans on are:
+
+* Lemma 3.9: ``Pr(W_LG(k, 4ck * 2^k) <= 8ck) >= 1 - 2^{-ck}`` — wins are rare,
+  so a fresh signal survives long enough to sweep the ring and clocks do not
+  reach ``kappa_max`` while a leader keeps resetting them.
+* Lemma 3.10: ``Pr(W_LG(k, 64ck * 2^k) >= 16ck) >= 1 - 2^{-ck}`` — wins are
+  frequent enough that stale signals die and, on a leaderless ring, every
+  clock reaches ``kappa_max`` within ``O(n^2 log n)`` steps.
+
+This module provides an exact simulator of the game plus the analytic
+quantities, so the experiments can verify the two bounds empirically
+(benchmark ``bench_lottery``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.errors import InvalidParameterError
+from repro.core.rng import RandomSource, ensure_source
+
+
+@dataclass(frozen=True)
+class LotteryOutcome:
+    """Result of playing the lottery game for a fixed number of flips."""
+
+    flips: int
+    rounds: int
+    wins: int
+
+    @property
+    def win_rate(self) -> float:
+        """Fraction of rounds won."""
+        return self.wins / self.rounds if self.rounds else 0.0
+
+
+def play_lottery_game(k: int, flips: int,
+                      rng: "RandomSource | int | None" = None) -> LotteryOutcome:
+    """Play ``flips`` coin flips of the lottery game with threshold ``k``.
+
+    Returns the number of completed rounds and the number of wins
+    (``W_LG(k, flips)``).
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if flips < 0:
+        raise InvalidParameterError(f"flips must be >= 0, got {flips}")
+    source = ensure_source(rng)
+    consecutive_heads = 0
+    rounds = 0
+    wins = 0
+    for _ in range(flips):
+        if source.coin():
+            consecutive_heads += 1
+            if consecutive_heads == k:
+                wins += 1
+                rounds += 1
+                consecutive_heads = 0
+        else:
+            rounds += 1
+            consecutive_heads = 0
+    return LotteryOutcome(flips=flips, rounds=rounds, wins=wins)
+
+
+def win_counts(k: int, flips: int, trials: int,
+               rng: "RandomSource | int | None" = None) -> List[int]:
+    """``W_LG(k, flips)`` sampled over ``trials`` independent plays."""
+    source = ensure_source(rng)
+    return [play_lottery_game(k, flips, source.spawn(f"trial-{i}")).wins
+            for i in range(trials)]
+
+
+def win_probability_per_round(k: int) -> float:
+    """A single round is won with probability ``2^{-k}``."""
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    return 0.5 ** k
+
+
+def expected_wins(k: int, flips: int) -> float:
+    """Expected ``W_LG(k, flips)``.
+
+    Each round consumes at most ``k`` flips and one flip ends a lost round, so
+    the expected number of rounds within ``flips`` flips lies between
+    ``flips / k`` and ``flips``; the exact expectation of wins is
+    ``flips * p / E[round length]`` with ``E[round length] = (1 - p) * E[geometric
+    truncated] ...`` — rather than reproduce the algebra we use the renewal
+    formula: the expected round length is ``2 * (1 - 2^{-k})`` flips, hence
+    ``E[W] = flips * 2^{-k} / (2 * (1 - 2^{-k}))`` asymptotically.  The bounds
+    of Lemmas 3.9/3.10 only need the order of magnitude.
+    """
+    p = win_probability_per_round(k)
+    expected_round_length = 2.0 * (1.0 - p)
+    if expected_round_length == 0:
+        return float(flips)
+    return flips * p / expected_round_length
+
+
+def lemma_3_9_bound(k: int, c: int) -> dict:
+    """The quantities of Lemma 3.9: flips ``4ck·2^k``, win cap ``8ck``, failure ``2^{-ck}``."""
+    if c < 1:
+        raise InvalidParameterError(f"c must be >= 1, got {c}")
+    return {
+        "flips": 4 * c * k * (2 ** k),
+        "max_wins": 8 * c * k,
+        "failure_probability": 0.5 ** (c * k),
+    }
+
+
+def lemma_3_10_bound(k: int, c: int) -> dict:
+    """The quantities of Lemma 3.10: flips ``64ck·2^k``, win floor ``16ck``, failure ``2^{-ck}``."""
+    if k < 2:
+        raise InvalidParameterError(f"Lemma 3.10 requires k >= 2, got {k}")
+    if c < 1:
+        raise InvalidParameterError(f"c must be >= 1, got {c}")
+    return {
+        "flips": 64 * c * k * (2 ** k),
+        "min_wins": 16 * c * k,
+        "failure_probability": 0.5 ** (c * k),
+    }
+
+
+def empirical_check_lemma_3_9(k: int, c: int, trials: int,
+                              rng: "RandomSource | int | None" = None) -> float:
+    """Fraction of trials in which ``W_LG(k, 4ck·2^k) <= 8ck`` held."""
+    bound = lemma_3_9_bound(k, c)
+    samples = win_counts(k, bound["flips"], trials, rng)
+    return sum(1 for wins in samples if wins <= bound["max_wins"]) / trials
+
+
+def empirical_check_lemma_3_10(k: int, c: int, trials: int,
+                               rng: "RandomSource | int | None" = None) -> float:
+    """Fraction of trials in which ``W_LG(k, 64ck·2^k) >= 16ck`` held."""
+    bound = lemma_3_10_bound(k, c)
+    samples = win_counts(k, bound["flips"], trials, rng)
+    return sum(1 for wins in samples if wins >= bound["min_wins"]) / trials

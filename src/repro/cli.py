@@ -1,0 +1,122 @@
+"""Command-line interface: run the paper's experiments from a terminal.
+
+Installed as ``repro-ssle``.  Sub-commands map one-to-one onto the experiment
+modules:
+
+* ``repro-ssle table1``       — the Table-1 comparison
+* ``repro-ssle scaling``      — the Theorem-3.1 scaling sweep and growth-law fits
+* ``repro-ssle detection``    — leader-absence detection times (Lemma 3.7)
+* ``repro-ssle elimination``  — leader elimination times (Lemma 4.11)
+* ``repro-ssle orientation``  — ring orientation (Theorem 5.2) and its substrate
+* ``repro-ssle figure1``      — the segment-ID embedding rendering
+* ``repro-ssle figure2``      — the token trajectory
+* ``repro-ssle demo``         — a single annotated convergence run
+
+All sub-commands accept ``--sizes``, ``--trials``, ``--max-steps``,
+``--kappa-factor`` and ``--seed`` so the sweeps can be scaled up or down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    ExperimentConfig,
+    detection_report,
+    elimination_report,
+    figure1_report,
+    figure2_report,
+    orientation_report,
+    run_and_render,
+    scaling_report,
+)
+
+
+def _parse_sizes(raw: str) -> List[int]:
+    sizes = [int(part) for part in raw.split(",") if part.strip()]
+    if not sizes:
+        raise argparse.ArgumentTypeError("at least one ring size is required")
+    if any(size < 2 for size in sizes):
+        raise argparse.ArgumentTypeError("ring sizes must be >= 2")
+    return sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ssle",
+        description="Reproduction experiments for the PODC 2023 SS-LE ring protocol",
+    )
+    parser.add_argument("--sizes", type=_parse_sizes, default=[8, 16, 32],
+                        help="comma-separated ring sizes (default: 8,16,32)")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="independent trials per data point (default: 3)")
+    parser.add_argument("--max-steps", type=int, default=2_000_000,
+                        help="step budget per trial (default: 2,000,000)")
+    parser.add_argument("--kappa-factor", type=int, default=4,
+                        help="the constant c1 in kappa_max = c1*psi (default: 4; paper: 32)")
+    parser.add_argument("--seed", type=int, default=2023, help="master random seed")
+    parser.add_argument(
+        "command",
+        choices=["table1", "scaling", "detection", "elimination", "orientation",
+                 "figure1", "figure2", "demo"],
+        help="which experiment to run",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        sizes=tuple(args.sizes),
+        trials=args.trials,
+        max_steps=args.max_steps,
+        kappa_factor=args.kappa_factor,
+        seed=args.seed,
+    )
+
+
+def _demo(config: ExperimentConfig) -> str:
+    """One annotated convergence run on the smallest configured ring."""
+    from repro import DirectedRing, PPLProtocol, Simulation
+    from repro.protocols.ppl import adversarial_configuration, is_safe, summary
+
+    n = min(config.sizes)
+    protocol = PPLProtocol.for_population(n, kappa_factor=config.kappa_factor)
+    ring = DirectedRing(n)
+    start = adversarial_configuration(n, protocol.params, rng=config.seed)
+    simulation = Simulation(protocol, ring, start, rng=config.seed + 1)
+    lines = [f"demo: {protocol.name} on {ring.name}"]
+    lines.append(f"start: {summary(simulation.states(), protocol.params)}")
+    result = simulation.run_until(
+        lambda states: is_safe(states, protocol.params),
+        max_steps=config.max_steps,
+        check_interval=max(16, n),
+    )
+    lines.append(f"converged: {result.satisfied} after {result.steps} steps")
+    lines.append(f"end: {summary(simulation.states(), protocol.params)}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-ssle`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _config_from_args(args)
+    handlers = {
+        "table1": lambda: run_and_render(config),
+        "scaling": lambda: scaling_report(config),
+        "detection": lambda: detection_report(config),
+        "elimination": lambda: elimination_report(config),
+        "orientation": lambda: orientation_report(config),
+        "figure1": lambda: figure1_report(config),
+        "figure2": lambda: figure2_report(),
+        "demo": lambda: _demo(config),
+    }
+    print(handlers[args.command]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Configurations: mappings from agents to protocol states.
+
+A configuration ``C : V -> Q`` assigns a state to every agent (Section 2).
+:class:`Configuration` is an immutable-by-convention container indexed by
+agent position; the simulator keeps its own mutable working copy and exposes
+snapshots as :class:`Configuration` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, Iterator, List, Sequence, TypeVar
+
+from repro.core.errors import InvalidConfigurationError
+from repro.core.protocol import Protocol
+
+StateT = TypeVar("StateT")
+
+
+class Configuration(Generic[StateT]):
+    """Snapshot of all agent states at one point of an execution."""
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Sequence[StateT]) -> None:
+        if len(states) < 2:
+            raise InvalidConfigurationError(
+                f"a configuration needs at least 2 agents, got {len(states)}"
+            )
+        self._states: List[StateT] = list(states)
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, agent: int) -> StateT:
+        return self._states[agent % len(self._states)]
+
+    def __iter__(self) -> Iterator[StateT]:
+        return iter(self._states)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._states == other._states
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._states))
+
+    # ------------------------------------------------------------------ #
+    # Functional updates
+    # ------------------------------------------------------------------ #
+    def states(self) -> List[StateT]:
+        """A fresh list of all agent states (callers may mutate the list)."""
+        return list(self._states)
+
+    def replace(self, agent: int, state: StateT) -> "Configuration[StateT]":
+        """Return a copy of the configuration with one agent's state replaced."""
+        states = list(self._states)
+        states[agent % len(states)] = state
+        return Configuration(states)
+
+    def map(self, transform: Callable[[int, StateT], StateT]) -> "Configuration[StateT]":
+        """Return a configuration obtained by applying ``transform(i, state)``."""
+        return Configuration([transform(i, state) for i, state in enumerate(self._states)])
+
+    def rotate(self, offset: int) -> "Configuration[StateT]":
+        """Configuration with agent indices shifted by ``offset``.
+
+        ``rotate(k)[i] == self[i + k]``; useful because the paper frequently
+        renumbers agents "without loss of generality" so that a chosen agent
+        becomes ``u_0``.
+        """
+        n = len(self._states)
+        return Configuration([self._states[(i + offset) % n] for i in range(n)])
+
+    # ------------------------------------------------------------------ #
+    # Protocol-aware inspection helpers
+    # ------------------------------------------------------------------ #
+    def outputs(self, protocol: Protocol[StateT]) -> List[str]:
+        """Per-agent outputs ``pi_out(C(u_i))``."""
+        return [protocol.output(state) for state in self._states]
+
+    def leader_indices(self, protocol: Protocol[StateT]) -> List[int]:
+        """Indices of agents whose output is the leader symbol."""
+        return [i for i, state in enumerate(self._states) if protocol.is_leader(state)]
+
+    def leader_count(self, protocol: Protocol[StateT]) -> int:
+        """Number of leaders in this configuration."""
+        return len(self.leader_indices(protocol))
+
+    def validate(self, protocol: Protocol[StateT]) -> None:
+        """Validate every agent state against the protocol's state space."""
+        for agent, state in enumerate(self._states):
+            try:
+                protocol.validate(state)
+            except Exception as exc:  # re-raise with agent context
+                raise InvalidConfigurationError(f"agent {agent}: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Configuration n={len(self._states)}>"
+
+
+def configuration_from_factory(size: int,
+                               factory: Callable[[int], StateT]) -> Configuration[StateT]:
+    """Build a configuration by calling ``factory(agent_index)`` for every agent."""
+    return Configuration([factory(agent) for agent in range(size)])
+
+
+def uniform_configuration(size: int, state: StateT,
+                          clone: Callable[[StateT], StateT]) -> Configuration[StateT]:
+    """Configuration in which every agent holds an independent copy of ``state``."""
+    return Configuration([clone(state) for _ in range(size)])
+
+
+def random_configuration(protocol: Protocol[StateT], size: int,
+                         rng) -> Configuration[StateT]:
+    """Adversarial configuration with independently random states.
+
+    Self-stabilization quantifies over *all* initial configurations; drawing
+    each agent's state uniformly from the protocol's state space is the
+    standard empirical stand-in for the adversary.
+    """
+    return Configuration([protocol.random_state(rng) for _ in range(size)])
+
+
+def leaders_in(states: Iterable[StateT], protocol: Protocol[StateT]) -> int:
+    """Count leaders in a plain iterable of states (no Configuration needed)."""
+    return sum(1 for state in states if protocol.is_leader(state))

@@ -1,0 +1,73 @@
+"""Simulation metrics: step counters, interaction counts, leader trajectories.
+
+The paper measures time in *steps* (scheduler ticks).  Parallel time (steps
+divided by ``n``) is also reported because much of the population-protocol
+literature uses it; both are exposed here so experiment reports can show
+either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class StepMetrics:
+    """Counters accumulated while a simulation runs."""
+
+    #: Total scheduler ticks executed.
+    steps: int = 0
+    #: Interactions per agent (an agent participates in a step with prob. deg/|E|).
+    interactions_per_agent: Dict[int, int] = field(default_factory=dict)
+    #: Number of steps in which the transition actually changed some state.
+    effective_steps: int = 0
+
+    def record(self, initiator: int, responder: int, changed: bool) -> None:
+        """Record one executed interaction."""
+        self.steps += 1
+        self.interactions_per_agent[initiator] = self.interactions_per_agent.get(initiator, 0) + 1
+        self.interactions_per_agent[responder] = self.interactions_per_agent.get(responder, 0) + 1
+        if changed:
+            self.effective_steps += 1
+
+    def parallel_time(self, population_size: int) -> float:
+        """Steps divided by ``n`` — the conventional parallel-time measure."""
+        return self.steps / population_size
+
+    def busiest_agent(self) -> Optional[Tuple[int, int]]:
+        """``(agent, interaction count)`` for the most active agent, if any."""
+        if not self.interactions_per_agent:
+            return None
+        agent = max(self.interactions_per_agent, key=self.interactions_per_agent.get)
+        return agent, self.interactions_per_agent[agent]
+
+
+@dataclass
+class LeaderTrajectory:
+    """Time series of the leader count, sampled at a fixed interval.
+
+    Used by the convergence experiments to show how the number of leaders
+    evolves (creation when absent, elimination when plural).
+    """
+
+    sample_interval: int
+    samples: List[Tuple[int, int]] = field(default_factory=list)
+
+    def maybe_sample(self, step: int, leader_count: int) -> None:
+        """Record ``(step, leader_count)`` when ``step`` hits the sampling grid."""
+        if step % self.sample_interval == 0:
+            self.samples.append((step, leader_count))
+
+    def final_leader_count(self) -> Optional[int]:
+        """Leader count at the last sample, if any sample was taken."""
+        if not self.samples:
+            return None
+        return self.samples[-1][1]
+
+    def first_step_with_unique_leader(self) -> Optional[int]:
+        """First sampled step at which exactly one leader was present."""
+        for step, count in self.samples:
+            if count == 1:
+                return step
+        return None

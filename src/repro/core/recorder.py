@@ -1,0 +1,111 @@
+"""Execution tracing: record interactions and configuration snapshots.
+
+Tracing is optional — the convergence experiments run millions of steps and
+must not pay for it — but it is invaluable for debugging protocol behaviour,
+for the worked examples, and for rendering the paper's Figure 2 (the token
+trajectory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.core.configuration import Configuration
+from repro.core.simulator import Simulation
+
+StateT = TypeVar("StateT")
+
+
+@dataclass(frozen=True)
+class InteractionRecord:
+    """One traced interaction."""
+
+    step: int
+    initiator: int
+    responder: int
+
+
+@dataclass
+class ExecutionTrace(Generic[StateT]):
+    """Sequence of interaction records plus optional configuration snapshots."""
+
+    interactions: List[InteractionRecord] = field(default_factory=list)
+    snapshots: List[Configuration[StateT]] = field(default_factory=list)
+    snapshot_steps: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    def arcs(self) -> List[tuple]:
+        """The traced interactions as (initiator, responder) pairs."""
+        return [(record.initiator, record.responder) for record in self.interactions]
+
+    def last_snapshot(self) -> Optional[Configuration[StateT]]:
+        """The most recent configuration snapshot, if any."""
+        return self.snapshots[-1] if self.snapshots else None
+
+
+class TraceRecorder(Generic[StateT]):
+    """Observer that appends interactions (and periodic snapshots) to a trace.
+
+    Parameters
+    ----------
+    simulation:
+        The simulation to attach to; the recorder registers itself as an
+        observer immediately.
+    snapshot_interval:
+        When positive, take a full configuration snapshot every that many
+        steps.  Zero disables snapshots (interactions are still recorded).
+    max_interactions:
+        Safety valve: stop recording interactions (snapshots continue) after
+        this many records to bound memory on long runs.
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation[StateT],
+        snapshot_interval: int = 0,
+        max_interactions: int = 1_000_000,
+    ) -> None:
+        if snapshot_interval < 0:
+            raise ValueError("snapshot_interval must be >= 0")
+        self._simulation = simulation
+        self._snapshot_interval = snapshot_interval
+        self._max_interactions = max_interactions
+        self.trace: ExecutionTrace[StateT] = ExecutionTrace()
+        simulation.add_observer(self._observe)
+
+    def _observe(self, step: int, initiator: int, responder: int,
+                 states: Sequence[StateT]) -> None:
+        if len(self.trace.interactions) < self._max_interactions:
+            self.trace.interactions.append(InteractionRecord(step, initiator, responder))
+        if self._snapshot_interval and step % self._snapshot_interval == 0:
+            self.trace.snapshots.append(Configuration(list(states)))
+            self.trace.snapshot_steps.append(step)
+
+
+class FieldWatcher(Generic[StateT]):
+    """Observer recording the evolution of one derived quantity.
+
+    ``extract`` is called on the full state list after every interaction; the
+    value is appended whenever it differs from the previously recorded one.
+    Used, for example, to track the position of a token or the number of
+    leaders across an execution.
+    """
+
+    def __init__(self, simulation: Simulation[StateT],
+                 extract: Callable[[Sequence[StateT]], object]) -> None:
+        self._extract = extract
+        self.history: List[tuple] = []
+        simulation.add_observer(self._observe)
+
+    def _observe(self, step: int, initiator: int, responder: int,
+                 states: Sequence[StateT]) -> None:
+        value = self._extract(states)
+        if not self.history or self.history[-1][1] != value:
+            self.history.append((step, value))
+
+    def values(self) -> List[object]:
+        """The recorded values, without their step numbers."""
+        return [value for _, value in self.history]

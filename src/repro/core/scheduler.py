@@ -1,0 +1,154 @@
+"""Schedulers: who interacts at each step.
+
+The paper's analysis assumes the *uniformly random scheduler*: at every step
+one arc of the population graph is chosen uniformly at random
+(Section 2, ``Pr(Gamma_t = (u_i, u_{i+1})) = 1/n`` on a directed ring).
+
+This module provides
+
+* :class:`UniformRandomScheduler` — the model's scheduler,
+* :class:`SequenceScheduler` — replays an explicit arc sequence, used by
+  tests and by reproductions of the paper's ``seq_R``/``seq_L`` arguments,
+* :class:`InterleavedScheduler` — alternates a deterministic prefix with a
+  random suffix (useful to drive a configuration into a known region and then
+  measure random behaviour from there),
+* the helpers :func:`seq_r` and :func:`seq_l` that build the interaction
+  sequences ``seq_R(i, j)`` and ``seq_L(i, j)`` of Section 2.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.errors import ScheduleExhaustedError
+from repro.core.rng import RandomSource, ensure_source
+from repro.topology.graph import Arc, Population
+from repro.topology.ring import DirectedRing
+
+
+class Scheduler(abc.ABC):
+    """Produces the interaction for each time step."""
+
+    @abc.abstractmethod
+    def next_arc(self) -> Arc:
+        """Return the arc scheduled for the next step."""
+
+    def reset(self) -> None:
+        """Return the scheduler to its initial state (optional)."""
+
+
+class UniformRandomScheduler(Scheduler):
+    """The uniformly random scheduler of the population-protocol model."""
+
+    def __init__(self, population: Population, rng: "RandomSource | int | None" = None) -> None:
+        self._arcs = population.arcs
+        self._rng = ensure_source(rng)
+        self._num_arcs = len(self._arcs)
+
+    def next_arc(self) -> Arc:
+        return self._arcs[self._rng.randrange(self._num_arcs)]
+
+    @property
+    def rng(self) -> RandomSource:
+        """The underlying random source (exposed for seeding sub-streams)."""
+        return self._rng
+
+
+class SequenceScheduler(Scheduler):
+    """Replays a fixed sequence of arcs, then raises :class:`ScheduleExhaustedError`."""
+
+    def __init__(self, arcs: Iterable[Arc]) -> None:
+        self._arcs: List[Arc] = list(arcs)
+        self._cursor = 0
+
+    def next_arc(self) -> Arc:
+        if self._cursor >= len(self._arcs):
+            raise ScheduleExhaustedError(
+                f"sequence scheduler exhausted after {len(self._arcs)} interactions"
+            )
+        arc = self._arcs[self._cursor]
+        self._cursor += 1
+        return arc
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        """Number of interactions left in the sequence."""
+        return len(self._arcs) - self._cursor
+
+    def __len__(self) -> int:
+        return len(self._arcs)
+
+
+class InterleavedScheduler(Scheduler):
+    """Plays a deterministic prefix, then falls back to a random scheduler."""
+
+    def __init__(self, prefix: Sequence[Arc], population: Population,
+                 rng: "RandomSource | int | None" = None) -> None:
+        self._prefix = SequenceScheduler(prefix)
+        self._random = UniformRandomScheduler(population, rng)
+
+    def next_arc(self) -> Arc:
+        if self._prefix.remaining > 0:
+            return self._prefix.next_arc()
+        return self._random.next_arc()
+
+    def reset(self) -> None:
+        self._prefix.reset()
+
+
+# ---------------------------------------------------------------------- #
+# The paper's interaction-sequence notation (Section 2)
+# ---------------------------------------------------------------------- #
+def seq_r(ring: DirectedRing, start: int, length: int) -> List[Arc]:
+    """``seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}`` (clockwise sweep)."""
+    return [ring.arc_by_index(start + offset) for offset in range(length)]
+
+
+def seq_l(ring: DirectedRing, start: int, length: int) -> List[Arc]:
+    """``seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}`` (counter-clockwise sweep)."""
+    return [ring.arc_by_index(start - offset - 1) for offset in range(length)]
+
+
+def concat(*sequences: Sequence[Arc]) -> List[Arc]:
+    """Concatenate interaction sequences (the paper's ``.`` operator)."""
+    result: List[Arc] = []
+    for sequence in sequences:
+        result.extend(sequence)
+    return result
+
+
+def repeat(sequence: Sequence[Arc], times: int) -> List[Arc]:
+    """Repeat an interaction sequence (the paper's ``s^i`` notation)."""
+    if times < 0:
+        raise ValueError(f"cannot repeat a sequence {times} times")
+    return list(sequence) * times
+
+
+def full_clockwise_sweep(ring: DirectedRing, start: int = 0,
+                         laps: int = 1) -> List[Arc]:
+    """``seq_R(start, n)`` repeated ``laps`` times — a full clockwise traversal."""
+    return repeat(seq_r(ring, start, ring.size), laps)
+
+
+def full_counterclockwise_sweep(ring: DirectedRing, start: int = 0,
+                                laps: int = 1) -> List[Arc]:
+    """``seq_L(start, n)`` repeated ``laps`` times — a full counter-clockwise traversal."""
+    return repeat(seq_l(ring, start, ring.size), laps)
+
+
+def token_round_trip(ring: DirectedRing, segment_start: int, psi: int,
+                     repetitions: Optional[int] = None) -> List[Arc]:
+    """The sequence ``(seq_R(k, 2psi-1) . seq_L(k+2psi-1, 2psi-1))^{2psi}`` of Lemma 3.5.
+
+    Drives a token generated at the border agent ``u_k`` (``k = segment_start``)
+    through its complete zig-zag trajectory over two adjacent segments.
+    """
+    if repetitions is None:
+        repetitions = 2 * psi
+    forward = seq_r(ring, segment_start, 2 * psi - 1)
+    backward = seq_l(ring, segment_start + 2 * psi - 1, 2 * psi - 1)
+    return repeat(concat(forward, backward), repetitions)

@@ -1,0 +1,82 @@
+"""Experiment E3 — leader-absence detection time (Lemma 3.7 and Section 3.2).
+
+Starting from leaderless configurations, how long until (a) the mode
+machinery saturates every clock and (b) the token machinery finds the
+unavoidable segment-ID inconsistency and creates a leader?  The paper bounds
+the whole pipeline by ``O(n^2 log n)`` steps w.h.p.; this experiment measures
+it from the two leaderless adversaries (cold clocks: full pipeline; hot
+clocks: detection machinery only, isolating the ``O(n log^2 n)`` token-check
+phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.convergence import measure_convergence
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.protocols.ppl import PPLProtocol, leader_count, leaderless_configuration
+from repro.topology.ring import DirectedRing
+
+
+@dataclass(frozen=True)
+class DetectionRow:
+    """Mean steps until the first leader appears, for one size and one start."""
+
+    population_size: int
+    start: str
+    trials: int
+    mean_steps: float
+    max_steps: float
+    all_converged: bool
+
+
+def measure_detection(config: ExperimentConfig, hot_clocks: bool,
+                      sizes: Optional[Sequence[int]] = None) -> List[DetectionRow]:
+    """Steps until ``leader_count >= 1`` from a leaderless start."""
+    rows: List[DetectionRow] = []
+    for n in sizes if sizes is not None else config.sizes:
+        protocol = PPLProtocol.for_population(n, kappa_factor=config.kappa_factor)
+        ring = DirectedRing(n)
+        result = measure_convergence(
+            protocol,
+            ring,
+            lambda rng, size=n, proto=protocol: leaderless_configuration(
+                size, proto.params, detection_mode=hot_clocks
+            ),
+            lambda states: leader_count(states) >= 1,
+            trials=config.trials,
+            max_steps=config.max_steps,
+            check_interval=max(8, config.check_interval // 8),
+            rng=config.rng(f"detection-{'hot' if hot_clocks else 'cold'}-{n}"),
+        )
+        summary = result.summary() if result.steps else None
+        rows.append(
+            DetectionRow(
+                population_size=n,
+                start="leaderless, clocks saturated" if hot_clocks else "leaderless, clocks cold",
+                trials=config.trials,
+                mean_steps=summary.mean if summary else float("inf"),
+                max_steps=summary.maximum if summary else float("inf"),
+                all_converged=result.all_converged,
+            )
+        )
+    return rows
+
+
+def detection_report(config: Optional[ExperimentConfig] = None) -> str:
+    """Text report with both leaderless starts."""
+    config = config or ExperimentConfig()
+    rows = measure_detection(config, hot_clocks=True) + measure_detection(config, hot_clocks=False)
+    return format_table(
+        headers=["n", "start", "trials", "mean steps to first leader",
+                 "max steps", "all trials converged"],
+        rows=[
+            (row.population_size, row.start, row.trials, row.mean_steps,
+             row.max_steps, row.all_converged)
+            for row in rows
+        ],
+        title="E3 — leader-absence detection (Lemma 3.7 / Section 3.2)",
+    )

@@ -1,0 +1,90 @@
+"""Experiment E4 — leader elimination time (Lemma 4.11, Section 3.4).
+
+``EliminateLeaders()`` reduces any number of leaders to exactly one within
+``O(n^2)`` expected steps from a configuration with peaceful bullets.  This
+experiment starts from the worst case (every agent a fresh leader) and from a
+half-leaders configuration and measures the steps until exactly one leader
+remains, plus the steps until the population is fully safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.convergence import measure_convergence
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.protocols.ppl import (
+    PPLProtocol,
+    all_leaders_configuration,
+    leader_count,
+    many_leaders_configuration,
+)
+from repro.topology.ring import DirectedRing
+
+
+@dataclass(frozen=True)
+class EliminationRow:
+    """Mean steps until exactly one leader remains, for one size and start."""
+
+    population_size: int
+    initial_leaders: str
+    trials: int
+    mean_steps: float
+    max_steps: float
+    all_converged: bool
+
+
+def measure_elimination(config: ExperimentConfig, start: str = "all",
+                        sizes: Optional[Sequence[int]] = None) -> List[EliminationRow]:
+    """Steps until ``leader_count == 1`` from an all-leaders or half-leaders start."""
+    rows: List[EliminationRow] = []
+    for n in sizes if sizes is not None else config.sizes:
+        protocol = PPLProtocol.for_population(n, kappa_factor=config.kappa_factor)
+        ring = DirectedRing(n)
+
+        def factory(rng, size=n, proto=protocol):
+            if start == "all":
+                return all_leaders_configuration(size, proto.params)
+            return many_leaders_configuration(size, proto.params,
+                                              leaders=max(1, size // 2), rng=rng)
+
+        result = measure_convergence(
+            protocol,
+            ring,
+            factory,
+            lambda states: leader_count(states) == 1,
+            trials=config.trials,
+            max_steps=config.max_steps,
+            check_interval=max(8, config.check_interval // 8),
+            rng=config.rng(f"elimination-{start}-{n}"),
+        )
+        summary = result.summary() if result.steps else None
+        rows.append(
+            EliminationRow(
+                population_size=n,
+                initial_leaders="all agents" if start == "all" else "half of the agents",
+                trials=config.trials,
+                mean_steps=summary.mean if summary else float("inf"),
+                max_steps=summary.maximum if summary else float("inf"),
+                all_converged=result.all_converged,
+            )
+        )
+    return rows
+
+
+def elimination_report(config: Optional[ExperimentConfig] = None) -> str:
+    """Text report with both starting leader densities."""
+    config = config or ExperimentConfig()
+    rows = measure_elimination(config, "all") + measure_elimination(config, "half")
+    return format_table(
+        headers=["n", "initial leaders", "trials", "mean steps to one leader",
+                 "max steps", "all trials converged"],
+        rows=[
+            (row.population_size, row.initial_leaders, row.trials, row.mean_steps,
+             row.max_steps, row.all_converged)
+            for row in rows
+        ],
+        title="E4 — leader elimination (Lemma 4.11 / Section 3.4)",
+    )

@@ -1,0 +1,59 @@
+"""Plain-text report formatting shared by every experiment harness.
+
+Experiments return structured rows; this module turns them into the aligned
+text tables that the benchmarks print and EXPERIMENTS.md quotes.  No plotting
+library is used (the environment is offline); "figures" are reproduced as
+numeric series plus ASCII renderings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a list of rows as an aligned monospace table."""
+    rendered_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Sequence[tuple]) -> str:
+    """Render an ``(x, y)`` series as one aligned block (stand-in for a figure)."""
+    lines = [name]
+    for x, y in points:
+        lines.append(f"  {x!s:>10}  {_cell(y)}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(points: Sequence[tuple], width: int = 50, label: str = "") -> str:
+    """Simple horizontal bar chart of an ``(x, value)`` series."""
+    if not points:
+        return label
+    maximum = max(float(value) for _, value in points) or 1.0
+    lines = [label] if label else []
+    for x, value in points:
+        bar = "#" * max(1, int(round(width * float(value) / maximum)))
+        lines.append(f"  {x!s:>10} | {bar} {_cell(value)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,85 @@
+"""Experiment E1 — the main theorem's shape: convergence steps vs ring size.
+
+Theorem 3.1 bounds ``P_PL``'s convergence at ``O(n^2 log n)`` steps; the [28]
+baseline sits at ``Theta(n^2)`` and the constant-state protocols at
+``Omega(n^3)`` or worse.  This experiment sweeps the ring size, measures the
+mean steps-to-safety of ``P_PL`` (and optionally of [28] for the head-to-head
+comparison), and fits the measurements against the candidate growth laws so
+the report can state which law the data follows — the "shape" reproduction of
+the paper's headline claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import ScalingFit, best_growth_law
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ProtocolRunner,
+    run_ppl,
+    run_ppl_leaderless,
+    run_yokota,
+    sweep,
+)
+from repro.experiments.reporting import ascii_bar_chart, format_table
+
+
+@dataclass
+class ScalingSeries:
+    """Mean convergence steps across a size sweep plus its growth-law fits."""
+
+    protocol: str
+    sizes: List[int]
+    mean_steps: List[float]
+    fits: List[ScalingFit]
+
+    def best_fit(self) -> ScalingFit:
+        """The growth law with the smallest relative error."""
+        return self.fits[0]
+
+
+def measure_scaling(runner: ProtocolRunner, label: str,
+                    config: ExperimentConfig,
+                    sizes: Optional[Sequence[int]] = None) -> ScalingSeries:
+    """Sweep one protocol and fit its mean steps against the growth laws."""
+    result = sweep(runner, config, label, sizes=sizes)
+    swept_sizes = result.sizes()
+    means = result.mean_steps()
+    fits = best_growth_law(swept_sizes, means)
+    return ScalingSeries(protocol=label, sizes=swept_sizes, mean_steps=means, fits=fits)
+
+
+def scaling_report(config: Optional[ExperimentConfig] = None,
+                   include_baseline: bool = True,
+                   from_leaderless: bool = False) -> str:
+    """Text report: the measured series, the bar chart, and the fitted laws."""
+    config = config or ExperimentConfig()
+    runner = run_ppl_leaderless if from_leaderless else run_ppl
+    series: List[ScalingSeries] = [measure_scaling(runner, "P_PL", config)]
+    if include_baseline:
+        series.append(measure_scaling(run_yokota, "Yokota2021", config))
+
+    sections: List[str] = []
+    for entry in series:
+        points = list(zip(entry.sizes, entry.mean_steps))
+        sections.append(ascii_bar_chart(points, label=f"{entry.protocol}: mean steps to safety"))
+        sections.append(
+            format_table(
+                headers=["growth law", "coefficient", "relative error"],
+                rows=[(fit.law, fit.coefficient, fit.relative_error) for fit in entry.fits],
+                title=f"{entry.protocol}: growth-law fits (best first)",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def scaling_summary(config: Optional[ExperimentConfig] = None) -> Dict[str, str]:
+    """Machine-readable summary: protocol -> best-fitting growth law."""
+    config = config or ExperimentConfig()
+    summary: Dict[str, str] = {}
+    for runner, label in ((run_ppl, "P_PL"), (run_yokota, "Yokota2021")):
+        series = measure_scaling(runner, label, config)
+        summary[label] = series.best_fit().law
+    return summary

@@ -1,0 +1,142 @@
+"""Experiment T1 — reproduce Table 1 (SS-LE on rings: assumptions, time, states).
+
+The paper's Table 1 compares five protocols along three axes: the extra
+assumption they need, their expected convergence time, and their per-agent
+state count.  This experiment regenerates the table with *measured*
+convergence steps (mean over adversarial trials at each configured ring size)
+and *computed* state-space sizes, plus the assumption column verbatim.
+
+The Chen–Chen row [11] is analytic: its convergence time is super-exponential
+and cannot be simulated to completion (the row is labelled accordingly; see
+DESIGN.md §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    run_angluin,
+    run_fischer_jiang,
+    run_ppl,
+    run_yokota,
+    sweep,
+)
+from repro.experiments.reporting import format_table
+from repro.protocols.baselines.angluin_modk import AngluinModKProtocol
+from repro.protocols.baselines.chen_chen import ChenChenModel
+from repro.protocols.baselines.fischer_jiang import FischerJiangProtocol
+from repro.protocols.baselines.yokota2021 import Yokota2021Protocol
+from repro.protocols.ppl import PPLParams
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One protocol's row: assumption, paper bound, measured steps, state count."""
+
+    protocol: str
+    assumption: str
+    paper_time: str
+    measured_mean_steps: Optional[float]
+    states: int
+    paper_states: str
+    note: str = ""
+
+
+def build_table1(config: ExperimentConfig, reference_size: Optional[int] = None,
+                 angluin_k: int = 2) -> List[Table1Row]:
+    """Measure every executable protocol at ``reference_size`` and assemble Table 1.
+
+    ``reference_size`` defaults to the largest configured ring size; it must
+    not be divisible by ``angluin_k`` so the [5] baseline's assumption holds
+    (the harness picks the nearest admissible size otherwise).
+    """
+    n = reference_size or max(config.sizes)
+    angluin_n = n if n % angluin_k != 0 else n + 1
+
+    ppl_result = sweep(run_ppl, config, "P_PL", sizes=[n]).results[n]
+    yokota_result = sweep(run_yokota, config, "Yokota2021", sizes=[n]).results[n]
+    fischer_result = sweep(run_fischer_jiang, config, "FischerJiang", sizes=[n]).results[n]
+    angluin_result = sweep(
+        lambda size, cfg: run_angluin(size, cfg, k=angluin_k),
+        config, "AngluinModK", sizes=[angluin_n],
+    ).results[angluin_n]
+
+    ppl_params = PPLParams.for_population(n, kappa_factor=config.kappa_factor)
+    rows = [
+        Table1Row(
+            protocol="[5] Angluin et al.",
+            assumption=f"n is not a multiple of k={angluin_k}",
+            paper_time="Theta(n^3)",
+            measured_mean_steps=angluin_result.mean_steps(),
+            states=AngluinModKProtocol(angluin_k).state_space_size(),
+            paper_states="O(1)",
+            note=f"measured at n={angluin_n}; elimination modernised (see DESIGN.md)",
+        ),
+        Table1Row(
+            protocol="[15] Fischer-Jiang",
+            assumption="oracle Omega?",
+            paper_time="Theta(n^3)",
+            measured_mean_steps=fischer_result.mean_steps(),
+            states=FischerJiangProtocol().state_space_size(),
+            paper_states="O(1)",
+            note=f"measured at n={n}; instantaneous oracle",
+        ),
+        Table1Row(
+            protocol="[11] Chen-Chen",
+            assumption="none",
+            paper_time="exponential",
+            measured_mean_steps=None,
+            states=ChenChenModel().state_space_size(),
+            paper_states="O(1)",
+            note="analytic model only (super-exponential; not simulated)",
+        ),
+        Table1Row(
+            protocol="[28] Yokota et al.",
+            assumption="knowledge psi = ceil(log n) + O(1)",
+            paper_time="Theta(n^2)",
+            measured_mean_steps=yokota_result.mean_steps(),
+            states=Yokota2021Protocol.for_population(n).state_space_size(),
+            paper_states="O(n)",
+            note=f"measured at n={n}",
+        ),
+        Table1Row(
+            protocol="this work (P_PL)",
+            assumption="knowledge psi = ceil(log n) + O(1)",
+            paper_time="O(n^2 log n)",
+            measured_mean_steps=ppl_result.mean_steps(),
+            states=ppl_params.state_space_size(),
+            paper_states="polylog(n)",
+            note=f"measured at n={n}, kappa_factor={config.kappa_factor}",
+        ),
+    ]
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """Format the Table-1 reproduction as aligned text."""
+    return format_table(
+        headers=["protocol", "assumption", "paper time", "measured steps (mean)",
+                 "#states (computed)", "paper #states", "note"],
+        rows=[
+            (
+                row.protocol,
+                row.assumption,
+                row.paper_time,
+                "n/a" if row.measured_mean_steps is None else row.measured_mean_steps,
+                row.states,
+                row.paper_states,
+                row.note,
+            )
+            for row in rows
+        ],
+        title="Table 1 — Self-Stabilizing Leader Election on Rings (reproduction)",
+    )
+
+
+def run_and_render(config: Optional[ExperimentConfig] = None) -> str:
+    """Convenience entry point used by the benchmark and the CLI."""
+    rows = build_table1(config or ExperimentConfig())
+    return render_table1(rows)

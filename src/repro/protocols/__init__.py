@@ -1,0 +1,1 @@
+"""Protocol implementations: the paper's ``P_PL``, its baselines, and ring orientation."""

@@ -1,0 +1,91 @@
+"""The Thue–Morse string substrate used by the Chen–Chen baseline [11].
+
+The Thue–Morse sequence ``t_0 t_1 t_2 ... = 0 1 1 0 1 0 0 1 ...`` is defined
+by ``t_i = parity of the number of 1-bits of i``.  Its key property here is
+*cube-freeness*: no finite string ``w`` appears three times in a row
+(``www``) anywhere in the sequence (Thue 1912, reference [27] of the paper).
+
+Chen and Chen's SS-LE protocol embeds a Thue–Morse prefix on the ring,
+anchored at the unique leader; cube-freeness then certifies the presence of a
+leader (a leaderless ring, being rotation-symmetric, must eventually exhibit
+``www`` with ``w`` the whole ring content).  This module provides the string
+machinery; :mod:`repro.protocols.baselines.chen_chen` builds the analytic
+model of the protocol on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.errors import InvalidParameterError
+
+
+def thue_morse_bit(index: int) -> int:
+    """``t_index``: the parity of the number of one bits of ``index``."""
+    if index < 0:
+        raise InvalidParameterError(f"index must be non-negative, got {index}")
+    return bin(index).count("1") % 2
+
+
+def thue_morse_prefix(length: int) -> List[int]:
+    """The first ``length`` bits of the Thue–Morse sequence."""
+    if length < 0:
+        raise InvalidParameterError(f"length must be non-negative, got {length}")
+    return [thue_morse_bit(index) for index in range(length)]
+
+
+def is_cube_free(bits: Sequence[int]) -> bool:
+    """True when no substring ``www`` (for any non-empty ``w``) occurs in ``bits``.
+
+    Brute force (``O(len^3)``); the strings involved in tests and experiments
+    are short, and clarity beats speed for a certified combinatorial check.
+    """
+    n = len(bits)
+    for start in range(n):
+        for width in range(1, (n - start) // 3 + 1):
+            first = bits[start:start + width]
+            second = bits[start + width:start + 2 * width]
+            third = bits[start + 2 * width:start + 3 * width]
+            if first == second == third:
+                return False
+    return True
+
+
+def first_cube(bits: Sequence[int]) -> "tuple | None":
+    """Return ``(start, width)`` of the first cube ``www`` found, or ``None``.
+
+    The scan order matches :func:`is_cube_free` so that
+    ``first_cube(bits) is None  iff  is_cube_free(bits)``.
+    """
+    n = len(bits)
+    for start in range(n):
+        for width in range(1, (n - start) // 3 + 1):
+            first = bits[start:start + width]
+            second = bits[start + width:start + 2 * width]
+            third = bits[start + 2 * width:start + 3 * width]
+            if first == second == third:
+                return (start, width)
+    return None
+
+
+def circular_cube_exists(bits: Sequence[int], max_width: "int | None" = None) -> bool:
+    """Cube detection on the *circular* string (what ring agents can observe).
+
+    ``max_width`` bounds the period of the cube searched for; ``None`` allows
+    any width up to the ring size (a leaderless ring always contains the cube
+    ``www`` with ``w`` the full ring content read three times around, which is
+    what the Chen–Chen detection ultimately relies on).
+    """
+    n = len(bits)
+    if n == 0:
+        return False
+    widths = range(1, (max_width or n) + 1)
+    doubled = list(bits) + list(bits) + list(bits)
+    for start in range(n):
+        for width in widths:
+            first = doubled[start:start + width]
+            second = doubled[start + width:start + 2 * width]
+            third = doubled[start + 2 * width:start + 3 * width]
+            if len(third) == width and first == second == third:
+                return True
+    return False

@@ -1,0 +1,38 @@
+"""Ring orientation (Section 5): two-hop coloring substrate, ``P_OR``, and the pipeline."""
+
+from repro.protocols.orientation.pipeline import OrientedRingPipeline, PipelineResult
+from repro.protocols.orientation.por import (
+    PORProtocol,
+    PORState,
+    adversarial_oriented_configuration,
+    is_oriented,
+    is_two_hop_proper,
+    orientation_direction,
+    oriented_configuration,
+    ring_two_hop_coloring,
+)
+from repro.protocols.orientation.two_hop_coloring import (
+    ColoringState,
+    TwoHopColoringProtocol,
+    coloring_is_two_hop_proper,
+    memories_match_neighbors,
+    random_coloring_configuration,
+)
+
+__all__ = [
+    "ColoringState",
+    "OrientedRingPipeline",
+    "PORProtocol",
+    "PORState",
+    "PipelineResult",
+    "TwoHopColoringProtocol",
+    "adversarial_oriented_configuration",
+    "coloring_is_two_hop_proper",
+    "is_oriented",
+    "is_two_hop_proper",
+    "memories_match_neighbors",
+    "orientation_direction",
+    "oriented_configuration",
+    "random_coloring_configuration",
+    "ring_two_hop_coloring",
+]

@@ -1,0 +1,55 @@
+"""``CreateLeader()`` — Algorithm 2 of the paper (Section 3.2).
+
+Creates a new leader when the population contains none.  It has three parts:
+
+1. call :func:`~repro.protocols.ppl.determine_mode.determine_mode` (line 3),
+2. maintain ``dist`` and ``last`` (lines 4-9): the responder recomputes its
+   distance-to-the-nearest-left-leader modulo ``2*psi``; in the construction
+   mode it adopts the recomputed value, in the detection mode a mismatch is a
+   proof of imperfection and the responder becomes a leader,
+3. drive the black and white tokens (lines 10-11) which construct/check the
+   segment IDs; see :mod:`repro.protocols.ppl.move_token`.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.ppl.determine_mode import determine_mode
+from repro.protocols.ppl.move_token import BLACK, WHITE, move_token
+from repro.protocols.ppl.params import MODE_CONSTRUCT, MODE_DETECT, PPLParams
+from repro.protocols.ppl.state import PPLState
+
+
+def create_leader(left: PPLState, right: PPLState, params: PPLParams) -> None:
+    """Apply Algorithm 2 to the (initiator, responder) pair, mutating both states."""
+    # Line 3: mode management (clock / resetting signal / lottery game).
+    determine_mode(left, right, params)
+
+    # Line 4: recompute the responder's distance to its nearest left leader.
+    if right.leader == 1:
+        recomputed_dist = 0
+    else:
+        recomputed_dist = (left.dist + 1) % params.dist_modulus
+
+    # Lines 5-6: in the detection mode a mismatch proves the configuration is
+    # not perfect, so the responder becomes a leader (firing a live bullet and
+    # raising its shield, exactly like Algorithm 5 requires).
+    if right.mode == MODE_DETECT and recomputed_dist != right.dist:
+        right.become_leader()
+
+    # Lines 7-8: in the construction mode the responder simply adopts the
+    # recomputed distance.
+    if right.mode == MODE_CONSTRUCT:
+        right.dist = recomputed_dist
+
+    # Line 9: the initiator learns whether it belongs to the last segment
+    # (the segment whose right border is a leader).
+    if right.leader == 1:
+        left.last = 1
+    elif right.dist in (0, params.psi):
+        left.last = 0
+    else:
+        left.last = right.last
+
+    # Lines 10-11: move the black token (d = 0) and the white token (d = psi).
+    move_token(left, right, BLACK, params)
+    move_token(left, right, WHITE, params)

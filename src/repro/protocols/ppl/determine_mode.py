@@ -1,0 +1,70 @@
+"""``DetermineMode()`` — Algorithm 4 of the paper (Section 3.3).
+
+Determines whether agents are in the *construction* or the *detection* mode
+through three cooperating mechanisms:
+
+* **Resetting signals.**  A leader loads ``signal_r = kappa_max`` whenever it
+  initiates an interaction (lines 34-35).  A signal travels clockwise (line
+  42), resetting the ``clock`` of every agent it visits (line 39); when two
+  signals meet, the one with the larger TTL survives (absorption, lines
+  40-42).
+* **The lottery game.**  ``hits`` counts how many consecutive interactions an
+  agent had without interacting with its right neighbor: the initiator resets
+  its counter (line 36), the responder increments it (line 37).  Reaching
+  ``hits = psi`` is "winning a round" of the lottery game (Definition 3.8);
+  each win decrements the TTL of a signal held by the winner (lines 43-45) or,
+  when no signal is around, increments the winner's ``clock`` (lines 46-48).
+* **Mode assignment.**  An agent is in the detection mode exactly when its
+  clock has saturated at ``kappa_max`` (lines 49-50).
+
+The net effect (Lemmas 3.6/3.7): with a leader present all agents stay in the
+construction mode for ``Omega(kappa_max * n^2)`` steps w.h.p.; without a
+leader all signals die out and every clock saturates within ``O(n^2 log n)``
+steps w.h.p., putting the whole ring in the detection mode.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.ppl.params import MODE_CONSTRUCT, MODE_DETECT, PPLParams
+from repro.protocols.ppl.state import PPLState
+
+
+def determine_mode(left: PPLState, right: PPLState, params: PPLParams) -> None:
+    """Apply Algorithm 4 to the (initiator, responder) pair, mutating both states."""
+    psi = params.psi
+    kappa_max = params.kappa_max
+
+    # Lines 34-35: a leader (as initiator) generates a fresh resetting signal.
+    if left.leader == 1:
+        left.signal_r = kappa_max
+
+    # Lines 36-37: the lottery game counters.  Interacting with the right
+    # neighbor resets the counter; interacting with the left neighbor
+    # increments it (capped at psi).
+    left.hits = 0
+    right.hits = min(right.hits + 1, psi)
+
+    if left.signal_r > 0 or right.signal_r > 0:
+        # Line 39: any signal in sight resets both clocks.
+        left.clock = 0
+        right.clock = 0
+        # Lines 40-41: when the left signal absorbs the right one, the
+        # responder's lottery counter is reset to simplify the analysis.
+        if left.signal_r >= right.signal_r > 0:
+            right.hits = 0
+        # Line 42: the surviving signal moves (or stays) right with the
+        # larger TTL.
+        left.signal_r, right.signal_r = 0, max(left.signal_r, right.signal_r)
+        # Lines 43-45: a lottery win observed by an agent holding a signal
+        # decrements the signal's TTL.
+        if right.hits == psi:
+            right.signal_r = max(0, right.signal_r - 1)
+            right.hits = 0
+    elif right.hits == psi:
+        # Lines 46-48: a lottery win with no signal around advances the clock.
+        right.clock = min(right.clock + 1, kappa_max)
+        right.hits = 0
+
+    # Lines 49-50: the mode is a pure function of the clock.
+    for agent in (left, right):
+        agent.mode = MODE_DETECT if agent.clock == kappa_max else MODE_CONSTRUCT

@@ -1,0 +1,58 @@
+"""``EliminateLeaders()`` — Algorithm 5 of the paper (Section 3.4).
+
+The leader-elimination module of Yokota, Sudo and Masuzawa (2021) [28], reused
+verbatim by ``P_PL``.  Leaders wage a *bullets-and-shields war*:
+
+* A leader fires a bullet only after learning, through the *bullet-absence
+  signal* propagating right-to-left, that its previous bullet has vanished.
+* At firing time the leader extracts one fair coin from the scheduler (its
+  next interaction is with its right neighbor with probability 1/2): heads
+  (initiator role) fires a **live** bullet and raises the shield, tails
+  (responder role) fires a **dummy** bullet and drops the shield.
+* Bullets travel left-to-right; a live bullet that reaches an *unshielded*
+  leader kills it (the leader becomes a follower).  Shields make it
+  impossible for all leaders to die simultaneously because a leader that just
+  fired a live bullet is necessarily shielded.
+
+Starting from any configuration in ``C_PB`` (all live bullets peaceful) the
+war leaves exactly one leader within ``O(n^2)`` expected steps (Lemma 4.11).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.ppl.state import BULLET_DUMMY, BULLET_LIVE, BULLET_NONE, PPLState
+
+
+def eliminate_leaders(left: PPLState, right: PPLState) -> None:
+    """Apply Algorithm 5 to the (initiator, responder) pair, mutating both states."""
+    # Lines 51-52: a leader acting as the initiator that has received the
+    # bullet-absence signal fires a live bullet and raises its shield.
+    if left.leader == 1 and left.signal_b == 1:
+        left.bullet = BULLET_LIVE
+        left.shield = 1
+        left.signal_b = 0
+
+    # Lines 53-54: a leader acting as the responder that has received the
+    # bullet-absence signal fires a dummy bullet and drops its shield.
+    if right.leader == 1 and right.signal_b == 1:
+        right.bullet = BULLET_DUMMY
+        right.shield = 0
+        right.signal_b = 0
+
+    if left.bullet > BULLET_NONE and right.leader == 1:
+        # Lines 55-57: a bullet reaching a leader disappears; a live bullet
+        # kills the leader unless it is shielded.
+        if left.bullet == BULLET_LIVE and right.shield == 0:
+            right.leader = 0
+        left.bullet = BULLET_NONE
+    elif left.bullet > BULLET_NONE and right.leader == 0:
+        # Lines 58-61: the bullet moves right unless the right agent already
+        # holds one, and it wipes out any bullet-absence signal it passes.
+        if right.bullet == BULLET_NONE:
+            right.bullet = left.bullet
+        left.bullet = BULLET_NONE
+        right.signal_b = 0
+
+    # Line 62: the bullet-absence signal propagates right-to-left and is
+    # (re)generated at the left neighbor of a leader.
+    left.signal_b = max(left.signal_b, right.signal_b, right.leader)

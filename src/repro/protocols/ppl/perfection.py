@@ -1,0 +1,200 @@
+"""Segments, segment IDs and *perfect* configurations (Section 3.1, Lemma 3.2).
+
+``P_PL`` proves the existence of a leader by embedding a string on the ring:
+
+* Equation (1): every non-leader agent's ``dist`` is its left neighbor's
+  ``dist`` plus one modulo ``2*psi``; leaders have ``dist = 0``.
+* *Borders* are agents with ``dist in {0, psi}``; a *segment* is a maximal
+  border-to-border run of agents.  The bits ``b`` of the agents of a segment,
+  read least-significant-first, form the segment's *ID* (a ``psi``-bit
+  integer).
+* Equation (2): consecutive segment IDs increase by one modulo ``2**psi``
+  (except around a leader).
+
+A configuration satisfying both is *perfect*.  Lemma 3.2: a perfect
+configuration necessarily contains a leader, because a leaderless ring would
+consist of ``n / psi < 2**psi`` segments of length exactly ``psi`` whose IDs
+increase by one all the way around — impossible modulo ``2**psi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.errors import InvalidParameterError
+from repro.protocols.ppl.params import PPLParams
+from repro.protocols.ppl.state import PPLState
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal run of agents between two borders (the left border included).
+
+    ``start`` is the index of the segment's border agent; ``length`` the
+    number of agents; ``agents`` the agent indices in ring order.
+    """
+
+    start: int
+    length: int
+    agents: tuple
+
+    def end_border(self, ring_size: int) -> int:
+        """Index of the border agent immediately after this segment."""
+        return (self.start + self.length) % ring_size
+
+
+# ---------------------------------------------------------------------- #
+# Borders and segments
+# ---------------------------------------------------------------------- #
+def border_indices(states: Sequence[PPLState], params: PPLParams) -> List[int]:
+    """Indices of border agents (``dist in {0, psi}``)."""
+    return [i for i, state in enumerate(states) if state.is_border(params)]
+
+
+def segments(states: Sequence[PPLState], params: PPLParams) -> List[Segment]:
+    """Decompose the ring into segments, in clockwise order of their borders.
+
+    Returns an empty list when the ring has no border at all (which can only
+    happen in adversarial configurations that already violate Equation (1)).
+    """
+    n = len(states)
+    borders = border_indices(states, params)
+    if not borders:
+        return []
+    result: List[Segment] = []
+    for position, start in enumerate(borders):
+        next_border = borders[(position + 1) % len(borders)]
+        length = (next_border - start) % n
+        if length == 0:
+            length = n
+        agents = tuple((start + offset) % n for offset in range(length))
+        result.append(Segment(start=start, length=length, agents=agents))
+    return result
+
+
+def segment_id(states: Sequence[PPLState], segment: Segment) -> int:
+    """``iota(S)``: the segment's bits read least-significant-first as an integer."""
+    value = 0
+    for position, agent in enumerate(segment.agents):
+        value += states[agent].b << position
+    return value
+
+
+def segment_id_bits(value: int, psi: int) -> List[int]:
+    """The ``psi`` bits of a segment ID, least significant first."""
+    if value < 0:
+        raise InvalidParameterError(f"segment IDs are non-negative, got {value}")
+    return [(value >> position) & 1 for position in range(psi)]
+
+
+# ---------------------------------------------------------------------- #
+# Perfection (Equations (1) and (2))
+# ---------------------------------------------------------------------- #
+def dist_rule_violations(states: Sequence[PPLState], params: PPLParams) -> List[int]:
+    """Agents violating Equation (1): returns the indices of the violators."""
+    n = len(states)
+    modulus = params.dist_modulus
+    violators: List[int] = []
+    for i in range(n):
+        state = states[i]
+        left = states[(i - 1) % n]
+        if state.leader == 1:
+            expected = 0
+        else:
+            expected = (left.dist + 1) % modulus
+        if state.dist != expected:
+            violators.append(i)
+    return violators
+
+
+def segment_rule_violations(states: Sequence[PPLState], params: PPLParams) -> List[Segment]:
+    """Segments violating Equation (2): ID must be previous ID plus one (mod ``2**psi``).
+
+    A segment is exempt when its own border or the border right after it is a
+    leader (the first and last segments around a leader are unconstrained).
+    """
+    ring_segments = segments(states, params)
+    if not ring_segments:
+        return []
+    modulus = params.segment_id_modulus
+    n = len(states)
+    violators: List[Segment] = []
+    for position, segment in enumerate(ring_segments):
+        previous = ring_segments[(position - 1) % len(ring_segments)]
+        exempt = (
+            states[segment.start].leader == 1
+            or states[segment.end_border(n)].leader == 1
+        )
+        if exempt:
+            continue
+        expected = (segment_id(states, previous) + 1) % modulus
+        if segment_id(states, segment) != expected:
+            violators.append(segment)
+    return violators
+
+
+def is_perfect(states: Sequence[PPLState], params: PPLParams) -> bool:
+    """True when the configuration violates neither Equation (1) nor (2)."""
+    if dist_rule_violations(states, params):
+        return False
+    if not border_indices(states, params):
+        return False
+    return not segment_rule_violations(states, params)
+
+
+def leaderless_perfect_exists(n: int, params: PPLParams) -> bool:
+    """Lemma 3.2 as a predicate: can a leaderless ring of ``n`` agents be perfect?
+
+    The answer is always ``False`` when ``2**psi >= n`` and ``psi >= 2`` (the
+    paper's assumption); exposed as a function so property tests can confirm
+    the combinatorial argument for every supported ``n``.
+    """
+    if not params.supports_population(n):
+        raise InvalidParameterError(
+            f"psi={params.psi} does not support a population of {n} agents"
+        )
+    if n % params.psi != 0:
+        # Equation (1) alone cannot hold all the way around without a leader.
+        return False
+    segment_count = n // params.psi
+    # IDs would need to increase by one around a cycle of `segment_count`
+    # segments, which requires segment_count to be a multiple of 2**psi;
+    # but 0 < segment_count < 2**psi.
+    return segment_count % params.segment_id_modulus == 0
+
+
+# ---------------------------------------------------------------------- #
+# Rendering (Figure 1)
+# ---------------------------------------------------------------------- #
+def render_segment_ids(states: Sequence[PPLState], params: PPLParams) -> str:
+    """ASCII rendition of the Figure-1 embedding: one line per segment.
+
+    Each line shows the segment's border index, whether it starts at a leader,
+    its bits (least significant first) and its integer ID.
+    """
+    ring_segments = segments(states, params)
+    lines = []
+    for segment in ring_segments:
+        bits = "".join(str(states[agent].b) for agent in segment.agents)
+        marker = "L" if states[segment.start].leader == 1 else " "
+        lines.append(
+            f"[{marker}] border={segment.start:4d} len={segment.length:3d} "
+            f"bits(lsb first)={bits} id={segment_id(states, segment)}"
+        )
+    if not lines:
+        return "(no borders: the configuration violates Equation (1) everywhere)"
+    return "\n".join(lines)
+
+
+def segment_id_sequence(states: Sequence[PPLState], params: PPLParams) -> List[int]:
+    """The clockwise sequence of segment IDs (used by tests and Figure-1 checks)."""
+    return [segment_id(states, segment) for segment in segments(states, params)]
+
+
+def first_leader_index(states: Sequence[PPLState]) -> Optional[int]:
+    """Index of the first leader agent, or ``None`` when the ring is leaderless."""
+    for i, state in enumerate(states):
+        if state.leader == 1:
+            return i
+    return None

@@ -1,0 +1,70 @@
+"""The protocol ``P_PL`` (Algorithm 1): ``CreateLeader()`` then ``EliminateLeaders()``.
+
+``P_PL`` is the paper's main contribution: a self-stabilizing leader-election
+protocol for directed rings that, given ``psi = ceil(log2 n) + O(1)``, reaches
+a safe configuration within ``O(n^2 log n)`` steps w.h.p. and in expectation
+(Theorem 3.1) using only ``polylog(n)`` states per agent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.core.protocol import LeaderElectionProtocol
+from repro.core.rng import RandomSource
+from repro.protocols.ppl.create_leader import create_leader
+from repro.protocols.ppl.eliminate_leaders import eliminate_leaders
+from repro.protocols.ppl.params import PPLParams
+from repro.protocols.ppl.state import PPLState, random_state, validate_state
+
+
+class PPLProtocol(LeaderElectionProtocol[PPLState]):
+    """The paper's protocol ``P_PL`` parameterised by :class:`PPLParams`."""
+
+    def __init__(self, params: PPLParams) -> None:
+        self._params = params
+        self.name = f"P_PL(psi={params.psi}, kappa_max={params.kappa_max})"
+
+    # ------------------------------------------------------------------ #
+    # Protocol interface
+    # ------------------------------------------------------------------ #
+    @property
+    def params(self) -> PPLParams:
+        """The parameter bundle (``psi``, ``kappa_max`` …) of this instance."""
+        return self._params
+
+    def transition(self, initiator: PPLState, responder: PPLState) -> Tuple[PPLState, PPLState]:
+        """Algorithm 1: apply ``CreateLeader()`` then ``EliminateLeaders()``.
+
+        The input states are never mutated; fresh copies are updated in place
+        by the two sub-routines and returned.
+        """
+        left = initiator.copy()
+        right = responder.copy()
+        create_leader(left, right, self._params)
+        eliminate_leaders(left, right)
+        return left, right
+
+    def leader_flag(self, state: PPLState) -> bool:
+        return state.leader == 1
+
+    def random_state(self, rng: RandomSource) -> PPLState:
+        return random_state(rng, self._params)
+
+    def validate(self, state: PPLState) -> None:
+        validate_state(state, self._params)
+
+    def state_space_size(self) -> int:
+        return self._params.state_space_size()
+
+    def canonical_states(self) -> Iterable[PPLState]:
+        yield PPLState.fresh_leader()
+        yield PPLState.follower(dist=1)
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_population(cls, n: int, slack: int = 0, kappa_factor: int = 32) -> "PPLProtocol":
+        """Instance whose knowledge ``psi`` matches a ring of ``n`` agents."""
+        return cls(PPLParams.for_population(n, slack=slack, kappa_factor=kappa_factor))

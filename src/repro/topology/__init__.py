@@ -1,0 +1,14 @@
+"""Population topologies: generic graphs, rings and complete graphs."""
+
+from repro.topology.complete import CompleteGraph
+from repro.topology.graph import Arc, Population, population_from_edges
+from repro.topology.ring import DirectedRing, UndirectedRing
+
+__all__ = [
+    "Arc",
+    "CompleteGraph",
+    "DirectedRing",
+    "Population",
+    "UndirectedRing",
+    "population_from_edges",
+]

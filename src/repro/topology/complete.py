@@ -1,0 +1,29 @@
+"""Complete-graph populations.
+
+Most of the population-protocol literature studies complete graphs (every
+ordered pair of distinct agents may interact).  The target paper works on
+rings, but the complete graph is provided both as a substrate for sanity
+checks of the simulation engine and because the Table-1 discussion contrasts
+ring results against the complete-graph impossibility of SS-LE without extra
+assumptions.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InvalidParameterError
+from repro.topology.graph import Population
+
+
+class CompleteGraph(Population):
+    """Complete population: every ordered pair of distinct agents is an arc."""
+
+    def __init__(self, size: int) -> None:
+        if size < 2:
+            raise InvalidParameterError(f"a complete graph needs at least 2 agents, got {size}")
+        arcs = [
+            (initiator, responder)
+            for initiator in range(size)
+            for responder in range(size)
+            if initiator != responder
+        ]
+        super().__init__(size, arcs, name=f"complete(n={size})")

@@ -1,0 +1,139 @@
+"""Population graphs.
+
+A population is a weakly connected digraph ``G = (V, E)`` (Section 2).  Agents
+are identified by indices ``0 .. n-1``; each arc ``(u, v)`` is a possible
+interaction in which ``u`` is the initiator and ``v`` the responder.
+
+:class:`Population` is the generic container; the :mod:`repro.topology.ring`
+and :mod:`repro.topology.complete` modules provide the concrete families used
+by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.errors import InvalidParameterError, TopologyError
+
+#: An arc of the population graph: (initiator index, responder index).
+Arc = Tuple[int, int]
+
+
+class Population:
+    """A population graph over agents ``0 .. n-1`` with an explicit arc list.
+
+    Parameters
+    ----------
+    size:
+        Number of agents ``n`` (must be at least 2, as the paper assumes).
+    arcs:
+        Iterable of ``(initiator, responder)`` pairs.  Duplicate arcs are
+        rejected; self-loops are rejected.
+    name:
+        Human readable description used in reports.
+    """
+
+    def __init__(self, size: int, arcs: Iterable[Arc], name: str = "population") -> None:
+        if size < 2:
+            raise InvalidParameterError(f"a population needs at least 2 agents, got {size}")
+        self._size = size
+        self._name = name
+        arc_list: List[Arc] = []
+        seen = set()
+        for arc in arcs:
+            initiator, responder = arc
+            self._check_agent(initiator)
+            self._check_agent(responder)
+            if initiator == responder:
+                raise TopologyError(f"self-loop arc {arc} is not allowed")
+            if arc in seen:
+                raise TopologyError(f"duplicate arc {arc}")
+            seen.add(arc)
+            arc_list.append((initiator, responder))
+        if not arc_list:
+            raise TopologyError("a population needs at least one arc")
+        self._arcs: Tuple[Arc, ...] = tuple(arc_list)
+        self._check_weakly_connected()
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of agents ``n``."""
+        return self._size
+
+    @property
+    def name(self) -> str:
+        """Human readable name."""
+        return self._name
+
+    @property
+    def arcs(self) -> Tuple[Arc, ...]:
+        """All possible interactions as (initiator, responder) pairs."""
+        return self._arcs
+
+    def agents(self) -> range:
+        """Iterator over agent indices."""
+        return range(self._size)
+
+    def out_neighbors(self, agent: int) -> List[int]:
+        """Agents that ``agent`` can initiate an interaction with."""
+        self._check_agent(agent)
+        return [responder for initiator, responder in self._arcs if initiator == agent]
+
+    def in_neighbors(self, agent: int) -> List[int]:
+        """Agents that can initiate an interaction with ``agent``."""
+        self._check_agent(agent)
+        return [initiator for initiator, responder in self._arcs if responder == agent]
+
+    def degree(self, agent: int) -> int:
+        """Number of arcs incident to ``agent`` in either direction."""
+        self._check_agent(agent)
+        return sum(1 for arc in self._arcs if agent in arc)
+
+    def has_arc(self, initiator: int, responder: int) -> bool:
+        """True when ``(initiator, responder)`` is a possible interaction."""
+        return (initiator, responder) in set(self._arcs)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _check_agent(self, agent: int) -> None:
+        if not 0 <= agent < self._size:
+            raise TopologyError(f"agent index {agent} outside population of size {self._size}")
+
+    def _check_weakly_connected(self) -> None:
+        adjacency: Dict[int, List[int]] = {agent: [] for agent in range(self._size)}
+        for initiator, responder in self._arcs:
+            adjacency[initiator].append(responder)
+            adjacency[responder].append(initiator)
+        visited = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in adjacency[current]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        if len(visited) != self._size:
+            raise TopologyError("population graph must be weakly connected")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Population {self._name!r} n={self._size} arcs={len(self._arcs)}>"
+
+
+def population_from_edges(size: int, edges: Sequence[Tuple[int, int]], directed: bool,
+                          name: str = "custom") -> Population:
+    """Build a population from an edge list.
+
+    When ``directed`` is False every edge ``(u, v)`` contributes both arcs
+    ``(u, v)`` and ``(v, u)``, matching the paper's undirected-ring model in
+    Section 5.
+    """
+    arcs: List[Arc] = []
+    for u, v in edges:
+        arcs.append((u, v))
+        if not directed:
+            arcs.append((v, u))
+    return Population(size, arcs, name=name)

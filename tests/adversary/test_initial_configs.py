@@ -1,0 +1,55 @@
+"""Tests for the adversarial initial-configuration catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ADVERSARIES, adversary_by_name, build
+from repro.core.errors import InvalidParameterError
+from repro.protocols.ppl import PPLParams, PPLProtocol, leader_count
+from repro.protocols.ppl.params import MODE_CONSTRUCT
+
+PARAMS = PPLParams.for_population(12, kappa_factor=4)
+N = 12
+
+
+def test_catalogue_contains_the_documented_adversaries():
+    assert {"uniform", "leaderless_trap", "leaderless_hot", "all_leaders",
+            "half_leaders", "corrupted_safe", "invalid_tokens",
+            "stale_signals"} <= set(ADVERSARIES)
+
+
+@pytest.mark.parametrize("name", sorted(ADVERSARIES))
+def test_every_adversary_builds_a_valid_configuration(name):
+    protocol = PPLProtocol(PARAMS)
+    configuration = build(name, N, PARAMS, rng=7)
+    assert len(configuration) == N
+    configuration.validate(protocol)
+
+
+def test_specific_adversary_shapes():
+    assert leader_count(build("all_leaders", N, PARAMS, rng=1).states()) == N
+    assert leader_count(build("leaderless_trap", N, PARAMS, rng=1).states()) == 0
+    assert leader_count(build("leaderless_hot", N, PARAMS, rng=1).states()) == 0
+    half = build("half_leaders", N, PARAMS, rng=1)
+    assert leader_count(half.states()) == N // 2
+
+
+def test_stale_signals_adversary_has_signals_and_no_leader():
+    states = build("stale_signals", N, PARAMS, rng=3).states()
+    assert leader_count(states) == 0
+    assert any(state.signal_r > 0 for state in states)
+    assert any(state.signal_b == 1 for state in states)
+    assert all(state.mode == MODE_CONSTRUCT for state in states)
+
+
+def test_unknown_adversary_raises_with_known_names():
+    with pytest.raises(InvalidParameterError) as excinfo:
+        adversary_by_name("nonsense")
+    assert "uniform" in str(excinfo.value)
+
+
+def test_adversaries_are_deterministic_per_seed():
+    first = build("uniform", N, PARAMS, rng=11)
+    second = build("uniform", N, PARAMS, rng=11)
+    assert [a.as_tuple() for a in first] == [b.as_tuple() for b in second]

@@ -1,0 +1,137 @@
+"""Tests for the lottery game (Def. 3.8) and interaction-sequence analysis (Lemma 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.lottery import (
+    empirical_check_lemma_3_10,
+    empirical_check_lemma_3_9,
+    expected_wins,
+    lemma_3_10_bound,
+    lemma_3_9_bound,
+    play_lottery_game,
+    win_counts,
+    win_probability_per_round,
+)
+from repro.analysis.sequences import (
+    SequenceTracker,
+    sample_sequence_timing,
+    steps_until_sequence,
+    whp_bound,
+)
+from repro.core.errors import InvalidParameterError
+from repro.core.scheduler import seq_r
+from repro.topology.ring import DirectedRing
+
+
+# ---------------------------------------------------------------------- #
+# Lottery game
+# ---------------------------------------------------------------------- #
+def test_lottery_game_counts_rounds_and_wins():
+    outcome = play_lottery_game(k=2, flips=10_000, rng=1)
+    assert outcome.flips == 10_000
+    assert 0 < outcome.wins < outcome.rounds
+    assert 0 < outcome.win_rate < 1
+
+
+def test_lottery_game_rejects_bad_parameters():
+    with pytest.raises(InvalidParameterError):
+        play_lottery_game(k=0, flips=10)
+    with pytest.raises(InvalidParameterError):
+        play_lottery_game(k=2, flips=-1)
+
+
+def test_win_probability_and_expected_wins():
+    assert win_probability_per_round(3) == pytest.approx(0.125)
+    assert expected_wins(3, 0) == 0
+    # The renewal estimate tracks simulation within a modest factor.
+    outcome = play_lottery_game(k=3, flips=100_000, rng=2)
+    assert outcome.wins == pytest.approx(expected_wins(3, 100_000), rel=0.35)
+
+
+def test_win_counts_are_reproducible_per_seed():
+    assert win_counts(3, 2000, 5, rng=9) == win_counts(3, 2000, 5, rng=9)
+
+
+def test_lemma_bound_dictionaries():
+    bound = lemma_3_9_bound(4, 2)
+    assert bound["flips"] == 4 * 2 * 4 * 16
+    assert bound["max_wins"] == 8 * 2 * 4
+    assert bound["failure_probability"] == pytest.approx(0.5 ** 8)
+    with pytest.raises(InvalidParameterError):
+        lemma_3_10_bound(1, 1)
+    with pytest.raises(InvalidParameterError):
+        lemma_3_9_bound(4, 0)
+
+
+def test_empirical_lemma_checks_hold_on_moderate_samples():
+    assert empirical_check_lemma_3_9(3, 1, trials=60, rng=5) >= 0.85
+    assert empirical_check_lemma_3_10(3, 1, trials=60, rng=6) >= 0.85
+
+
+# ---------------------------------------------------------------------- #
+# Interaction sequences
+# ---------------------------------------------------------------------- #
+def test_sequence_tracker_matches_in_order():
+    ring = DirectedRing(5)
+    sequence = seq_r(ring, 0, 3)
+    tracker = SequenceTracker(sequence)
+    tracker.observe((3, 4))           # irrelevant interaction
+    tracker.observe(sequence[0])
+    tracker.observe(sequence[2])      # out of order: does not advance past step 2
+    assert tracker.progress == 1
+    tracker.observe(sequence[1])
+    assert not tracker.completed
+    finished = tracker.observe(sequence[2])
+    assert finished and tracker.completed
+    assert tracker.completed_at == 5
+
+
+def test_sequence_tracker_rejects_empty_sequence():
+    with pytest.raises(InvalidParameterError):
+        SequenceTracker([])
+
+
+def test_steps_until_sequence_completes_and_respects_budget():
+    ring = DirectedRing(6)
+    sequence = seq_r(ring, 0, 4)
+    steps = steps_until_sequence(sequence, ring, rng=3)
+    assert steps is not None and steps >= len(sequence)
+    assert steps_until_sequence(sequence, ring, rng=3, max_steps=1) is None
+
+
+def test_sample_sequence_timing_respects_lemma_2_3():
+    ring = DirectedRing(8)
+    sequence = seq_r(ring, 0, 8)
+    summary = sample_sequence_timing(sequence, ring, trials=30, rng=4)
+    assert summary.trials == 30
+    # Expectation claim: mean <= n * l (with sampling slack).
+    assert summary.mean_steps <= 1.4 * summary.expected_upper_bound
+    assert summary.mean_over_bound <= 1.4
+    # W.h.p. claim: even the slowest trial is within the Chernoff envelope.
+    assert summary.max_steps <= whp_bound(len(sequence), ring.size, c=2.0)
+
+
+def test_sample_sequence_timing_validates_trials():
+    ring = DirectedRing(4)
+    with pytest.raises(InvalidParameterError):
+        sample_sequence_timing(seq_r(ring, 0, 2), ring, trials=0)
+
+
+def test_whp_bound_rejects_degenerate_inputs():
+    with pytest.raises(InvalidParameterError):
+        whp_bound(0, 8)
+    with pytest.raises(InvalidParameterError):
+        whp_bound(3, 1)
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=3, max_value=12), st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=1000))
+def test_random_scheduler_always_realises_short_sequences(n, length, seed):
+    ring = DirectedRing(n)
+    sequence = seq_r(ring, seed % n, length)
+    steps = steps_until_sequence(sequence, ring, rng=seed, max_steps=200_000)
+    assert steps is not None

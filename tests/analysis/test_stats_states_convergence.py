@@ -1,0 +1,183 @@
+"""Tests for statistics, state counting and the convergence-measurement tools."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.convergence import closure_check, leader_count_trajectory, measure_convergence
+from repro.analysis.states import observed_distinct_states, polylog_ratio, state_count_table
+from repro.analysis.stats import (
+    GROWTH_LAWS,
+    SampleSummary,
+    best_growth_law,
+    chernoff_lower,
+    chernoff_upper,
+    fit_growth_law,
+    ratio_table,
+)
+from repro.core.errors import InvalidParameterError
+from repro.protocols.ppl import PPLParams, PPLProtocol, adversarial_configuration, is_safe
+from repro.topology.ring import DirectedRing
+
+
+# ---------------------------------------------------------------------- #
+# Chernoff bounds and summaries
+# ---------------------------------------------------------------------- #
+def test_chernoff_bounds_match_lemma_a1():
+    assert chernoff_upper(30, 0.5) == pytest.approx(math.exp(-0.25 * 30 / 3))
+    assert chernoff_lower(30, 0.5) == pytest.approx(math.exp(-0.25 * 30 / 2))
+    with pytest.raises(InvalidParameterError):
+        chernoff_upper(10, 1.5)
+    with pytest.raises(InvalidParameterError):
+        chernoff_lower(10, 0.0)
+
+
+def test_sample_summary():
+    summary = SampleSummary.of([4, 1, 3, 2])
+    assert summary.count == 4
+    assert summary.mean == 2.5
+    assert summary.median == 2.5
+    assert summary.minimum == 1 and summary.maximum == 4
+    odd = SampleSummary.of([5, 1, 3])
+    assert odd.median == 3
+    with pytest.raises(InvalidParameterError):
+        SampleSummary.of([])
+
+
+# ---------------------------------------------------------------------- #
+# Growth-law fits
+# ---------------------------------------------------------------------- #
+def test_fit_recovers_planted_quadratic_law():
+    sizes = [8, 16, 32, 64, 128]
+    values = [3.0 * n * n for n in sizes]
+    coefficient, error = fit_growth_law(sizes, values, GROWTH_LAWS["n^2"])
+    assert coefficient == pytest.approx(3.0)
+    assert error == pytest.approx(0.0, abs=1e-9)
+    fits = best_growth_law(sizes, values)
+    assert fits[0].law == "n^2"
+
+
+def test_fit_recovers_planted_n2logn_law():
+    sizes = [8, 16, 32, 64, 128, 256]
+    values = [0.7 * n * n * math.log(n) for n in sizes]
+    fits = best_growth_law(sizes, values)
+    assert fits[0].law == "n^2 log n"
+
+
+def test_fit_rejects_degenerate_inputs():
+    with pytest.raises(InvalidParameterError):
+        fit_growth_law([4], [1.0], GROWTH_LAWS["n"])
+    with pytest.raises(InvalidParameterError):
+        fit_growth_law([4, 8], [1.0], GROWTH_LAWS["n"])
+
+
+def test_ratio_table_flat_for_matching_law():
+    sizes = [8, 16, 32]
+    values = [5.0 * n for n in sizes]
+    ratios = ratio_table(sizes, values, GROWTH_LAWS["n"])
+    assert all(ratio == pytest.approx(5.0) for _, ratio in ratios)
+
+
+@settings(max_examples=20)
+@given(st.floats(min_value=0.1, max_value=100.0))
+def test_fit_coefficient_scales_linearly(scale):
+    sizes = [8, 16, 32, 64]
+    values = [scale * n for n in sizes]
+    coefficient, _ = fit_growth_law(sizes, values, GROWTH_LAWS["n"])
+    assert coefficient == pytest.approx(scale)
+
+
+# ---------------------------------------------------------------------- #
+# State counting
+# ---------------------------------------------------------------------- #
+def test_state_count_table_has_all_protocols():
+    rows = state_count_table([16, 64])
+    assert {row.protocol for row in rows} == {
+        "P_PL", "Yokota2021", "FischerJiang", "AngluinModK", "ChenChen"
+    }
+    assert len(rows) == 10
+    with pytest.raises(InvalidParameterError):
+        state_count_table([])
+
+
+def test_polylog_ratio_is_bounded_over_huge_sizes():
+    ratios = polylog_ratio([2 ** 10, 2 ** 30, 2 ** 50])
+    values = list(ratios.values())
+    assert max(values) <= 12 * min(values)
+
+
+def test_observed_distinct_states_below_formula_bound():
+    visited = observed_distinct_states(n=8, steps=3000, kappa_factor=4, seed=1)
+    bound = PPLParams.for_population(8, kappa_factor=4).state_space_size()
+    assert 0 < visited < bound
+
+
+# ---------------------------------------------------------------------- #
+# Convergence measurement tools
+# ---------------------------------------------------------------------- #
+def test_measure_convergence_and_closure_check():
+    n = 8
+    protocol = PPLProtocol.for_population(n, kappa_factor=4)
+    ring = DirectedRing(n)
+    result = measure_convergence(
+        protocol,
+        ring,
+        lambda rng: adversarial_configuration(n, protocol.params, rng),
+        lambda states: is_safe(states, protocol.params),
+        trials=3,
+        max_steps=500_000,
+        check_interval=32,
+        rng=5,
+    )
+    assert result.all_converged
+    assert len(result.steps) == 3
+    assert result.mean_steps() == result.summary().mean
+
+    from repro.protocols.ppl import perfect_configuration
+
+    report = closure_check(protocol, ring, perfect_configuration(n, protocol.params),
+                           steps=5000, rng=6)
+    assert report.closed
+
+
+def test_measure_convergence_counts_failures():
+    n = 8
+    protocol = PPLProtocol.for_population(n, kappa_factor=4)
+    ring = DirectedRing(n)
+    result = measure_convergence(
+        protocol,
+        ring,
+        lambda rng: adversarial_configuration(n, protocol.params, rng),
+        lambda states: False,          # unsatisfiable predicate
+        trials=2,
+        max_steps=50,
+        rng=7,
+    )
+    assert result.failures == 2
+    assert not result.all_converged
+    assert result.mean_steps() == float("inf")
+    with pytest.raises(InvalidParameterError):
+        measure_convergence(protocol, ring, lambda rng: None, lambda s: True,
+                            trials=0, max_steps=10)
+
+
+def test_leader_count_trajectory_samples_expected_grid():
+    n = 8
+    protocol = PPLProtocol.for_population(n, kappa_factor=4)
+    ring = DirectedRing(n)
+    from repro.protocols.ppl import all_leaders_configuration
+
+    trajectory = leader_count_trajectory(
+        protocol, ring, all_leaders_configuration(n, protocol.params),
+        steps=1000, sample_interval=250, rng=8,
+    )
+    assert [step for step, _ in trajectory] == [0, 250, 500, 750, 1000]
+    assert trajectory[0][1] == n
+    assert trajectory[-1][1] >= 1
+    with pytest.raises(InvalidParameterError):
+        leader_count_trajectory(protocol, ring,
+                                all_leaders_configuration(n, protocol.params),
+                                steps=10, sample_interval=0)

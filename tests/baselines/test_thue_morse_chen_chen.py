@@ -1,0 +1,89 @@
+"""Tests for the Thue–Morse substrate and the Chen–Chen analytic model [11]."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.protocols.baselines.chen_chen import (
+    ChenChenModel,
+    cube_positions,
+    embedded_ring_string,
+    has_cube,
+    leaderless_embedding_has_cube,
+    safe_embedding,
+)
+from repro.protocols.baselines.thue_morse import (
+    circular_cube_exists,
+    first_cube,
+    is_cube_free,
+    thue_morse_bit,
+    thue_morse_prefix,
+)
+
+
+def test_thue_morse_first_bits_match_oeis():
+    assert thue_morse_prefix(16) == [0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0]
+
+
+def test_thue_morse_bit_rejects_negative_index():
+    with pytest.raises(InvalidParameterError):
+        thue_morse_bit(-1)
+    with pytest.raises(InvalidParameterError):
+        thue_morse_prefix(-5)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=0, max_value=200))
+def test_thue_morse_recurrence(length):
+    """t_{2i} = t_i and t_{2i+1} = 1 - t_i."""
+    assert thue_morse_bit(2 * length) == thue_morse_bit(length)
+    assert thue_morse_bit(2 * length + 1) == 1 - thue_morse_bit(length)
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=1, max_value=120))
+def test_thue_morse_prefixes_are_cube_free(length):
+    """The property the Chen-Chen detection relies on (reference [27] of the paper)."""
+    assert is_cube_free(thue_morse_prefix(length))
+
+
+def test_explicit_cubes_are_found():
+    assert not is_cube_free([0, 0, 0])
+    assert not is_cube_free([1, 0, 1, 0, 1, 0])
+    assert first_cube([1, 1, 0, 0, 0, 1]) == (2, 1)
+    assert first_cube(thue_morse_prefix(50)) is None
+    assert has_cube([0, 1, 0, 1, 0, 1])
+    assert cube_positions([0, 0, 0]) == (0, 1)
+
+
+@settings(max_examples=20)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=12))
+def test_any_circular_string_tripled_has_a_cube(bits):
+    """The detection direction: a leaderless ring (read three times around) shows www."""
+    assert leaderless_embedding_has_cube(bits)
+    assert circular_cube_exists(bits)
+
+
+def test_safe_embedding_is_cube_free_from_the_leader():
+    for n in (5, 9, 16, 33):
+        for leader in (0, n // 2):
+            bits = safe_embedding(n, leader_index=leader)
+            assert is_cube_free(embedded_ring_string(leader, bits))
+
+
+def test_embedded_ring_string_validates_leader_index():
+    with pytest.raises(InvalidParameterError):
+        embedded_ring_string(5, [0, 1, 0])
+
+
+def test_chen_chen_model_reports_constant_states_and_explosive_time():
+    model = ChenChenModel()
+    assert model.analytic
+    assert model.state_space_size() == model.states
+    assert model.expected_steps(8) < model.expected_steps(16) < model.expected_steps(24)
+    # Super-exponential blow-up: doubling n squares-and-more the estimate.
+    assert model.expected_steps(20) > 1000 * model.expected_steps(10)
+    with pytest.raises(InvalidParameterError):
+        model.expected_steps(1)

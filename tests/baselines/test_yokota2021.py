@@ -1,0 +1,110 @@
+"""Tests for the [28] baseline (O(n)-state, Theta(n^2)-step SS-LE)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.configuration import Configuration, random_configuration
+from repro.core.errors import InvalidParameterError, InvalidStateError
+from repro.core.rng import RandomSource
+from repro.core.simulator import Simulation
+from repro.protocols.baselines.yokota2021 import Yokota2021Protocol, YokotaState
+from repro.topology.ring import DirectedRing
+
+N = 13
+PROTOCOL = Yokota2021Protocol.for_population(N)
+
+
+def test_for_population_bound_covers_n():
+    assert PROTOCOL.distance_bound >= N
+    with pytest.raises(InvalidParameterError):
+        Yokota2021Protocol(distance_bound=1)
+    with pytest.raises(InvalidParameterError):
+        Yokota2021Protocol.for_population(1)
+
+
+def test_state_space_is_linear_in_bound():
+    small = Yokota2021Protocol(distance_bound=16)
+    large = Yokota2021Protocol(distance_bound=1024)
+    assert large.state_space_size() / small.state_space_size() == pytest.approx(
+        1025 / 17, rel=0.01
+    )
+
+
+def test_follower_adopts_distance_and_leader_resets():
+    left = YokotaState.follower(dist=3)
+    right = YokotaState.follower(dist=0)
+    _, new_right = PROTOCOL.transition(left, right)
+    assert new_right.dist == 4
+
+    leader = YokotaState.fresh_leader()
+    _, new_leader = PROTOCOL.transition(left, leader)
+    assert new_leader.dist == 0
+    assert new_leader.leader == 1
+
+
+def test_distance_reaching_bound_creates_leader():
+    left = YokotaState.follower(dist=PROTOCOL.distance_bound - 1)
+    right = YokotaState.follower(dist=0)
+    _, new_right = PROTOCOL.transition(left, right)
+    assert new_right.leader == 1
+    assert new_right.shield == 1 and new_right.bullet == 2
+
+
+def test_validation_rejects_out_of_range_distance():
+    state = YokotaState.follower(dist=PROTOCOL.distance_bound + 1)
+    with pytest.raises(InvalidStateError):
+        PROTOCOL.validate(state)
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_transition_preserves_validity(seed):
+    rng = RandomSource(seed)
+    left, right = PROTOCOL.random_state(rng), PROTOCOL.random_state(rng)
+    new_left, new_right = PROTOCOL.transition(left, right)
+    PROTOCOL.validate(new_left)
+    PROTOCOL.validate(new_right)
+
+
+def test_is_stable_on_hand_built_configuration():
+    states = [YokotaState.follower(dist=i) for i in range(N)]
+    leader = YokotaState.fresh_leader()
+    leader.bullet = 0
+    states[0] = leader
+    assert PROTOCOL.is_stable(states)
+    states[4].dist = 0
+    assert not PROTOCOL.is_stable(states)
+
+
+def test_converges_from_adversarial_starts():
+    ring = DirectedRing(N)
+    for seed in (1, 2, 3):
+        start = random_configuration(PROTOCOL, N, RandomSource(seed))
+        simulation = Simulation(PROTOCOL, ring, start, rng=seed + 10)
+        result = simulation.run_until(PROTOCOL.is_stable, max_steps=400_000,
+                                      check_interval=16)
+        assert result.satisfied
+        assert PROTOCOL.count_leaders(simulation.states()) == 1
+
+
+def test_converges_from_leaderless_start():
+    ring = DirectedRing(N)
+    states = [YokotaState.follower(dist=0) for _ in range(N)]
+    simulation = Simulation(PROTOCOL, ring, Configuration(states), rng=5)
+    result = simulation.run_until(PROTOCOL.is_stable, max_steps=400_000, check_interval=16)
+    assert result.satisfied
+
+
+def test_stability_is_closed_under_execution():
+    ring = DirectedRing(N)
+    states = [YokotaState.follower(dist=i) for i in range(N)]
+    leader = YokotaState.fresh_leader()
+    leader.bullet = 0
+    states[0] = leader
+    simulation = Simulation(PROTOCOL, ring, Configuration(states), rng=6)
+    for _ in range(50):
+        simulation.run(200)
+        assert PROTOCOL.is_stable(simulation.states())
+        assert PROTOCOL.count_leaders(simulation.states()) == 1

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Tests use small rings and a small ``kappa_factor`` so the probabilistic
+convergence checks finish quickly; the protocol stays correct (convergence
+with probability 1) for any ``kappa_factor >= 1`` — only the w.h.p. constants
+of the paper's analysis assume the larger value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rng import RandomSource
+from repro.protocols.ppl import PPLParams, PPLProtocol
+from repro.topology.ring import DirectedRing, UndirectedRing
+
+#: Ring size used by most integration tests.
+SMALL_N = 12
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def small_params() -> PPLParams:
+    return PPLParams.for_population(SMALL_N, kappa_factor=4)
+
+
+@pytest.fixture
+def small_protocol(small_params: PPLParams) -> PPLProtocol:
+    return PPLProtocol(small_params)
+
+
+@pytest.fixture
+def small_ring() -> DirectedRing:
+    return DirectedRing(SMALL_N)
+
+
+@pytest.fixture
+def small_undirected_ring() -> UndirectedRing:
+    return UndirectedRing(SMALL_N)

@@ -1,0 +1,70 @@
+"""Tests for execution tracing and step metrics."""
+
+from __future__ import annotations
+
+from repro.core.metrics import LeaderTrajectory, StepMetrics
+from repro.core.recorder import FieldWatcher, TraceRecorder
+from repro.core.simulator import Simulation
+from repro.protocols.ppl import PPLParams, PPLProtocol, all_leaders_configuration
+from repro.topology.ring import DirectedRing
+
+
+def test_step_metrics_records_participants_and_changes():
+    metrics = StepMetrics()
+    metrics.record(0, 1, changed=True)
+    metrics.record(1, 2, changed=False)
+    assert metrics.steps == 2
+    assert metrics.effective_steps == 1
+    assert metrics.interactions_per_agent[1] == 2
+    assert metrics.parallel_time(4) == 0.5
+    agent, count = metrics.busiest_agent()
+    assert agent == 1 and count == 2
+
+
+def test_leader_trajectory_sampling():
+    trajectory = LeaderTrajectory(sample_interval=10)
+    for step in range(0, 50, 10):
+        trajectory.maybe_sample(step, leader_count=5 - step // 10)
+    assert trajectory.final_leader_count() == 1
+    assert trajectory.first_step_with_unique_leader() == 40
+    trajectory.maybe_sample(55, 1)  # off the grid: ignored
+    assert len(trajectory.samples) == 5
+
+
+def _make_simulation(n=8):
+    params = PPLParams.for_population(n, kappa_factor=4)
+    protocol = PPLProtocol(params)
+    ring = DirectedRing(n)
+    configuration = all_leaders_configuration(n, params)
+    return Simulation(protocol, ring, configuration, rng=9), protocol
+
+
+def test_trace_recorder_collects_interactions_and_snapshots():
+    simulation, _ = _make_simulation()
+    recorder = TraceRecorder(simulation, snapshot_interval=25)
+    simulation.run(100)
+    assert len(recorder.trace) == 100
+    assert len(recorder.trace.snapshots) == 4
+    assert recorder.trace.snapshot_steps == [25, 50, 75, 100]
+    assert recorder.trace.last_snapshot() is not None
+    assert all(len(arc) == 2 for arc in recorder.trace.arcs())
+
+
+def test_trace_recorder_caps_interaction_memory():
+    simulation, _ = _make_simulation()
+    recorder = TraceRecorder(simulation, snapshot_interval=0, max_interactions=10)
+    simulation.run(50)
+    assert len(recorder.trace.interactions) == 10
+
+
+def test_field_watcher_records_changes_only():
+    simulation, protocol = _make_simulation()
+    watcher = FieldWatcher(simulation, lambda states: sum(
+        1 for state in states if protocol.is_leader(state)))
+    simulation.run(2000)
+    values = watcher.values()
+    # Leader count starts at n and only decreases; the watcher must not
+    # record consecutive duplicates.
+    assert all(a != b for a, b in zip(values, values[1:]))
+    assert values[0] <= 8
+    assert min(values) >= 1

@@ -1,0 +1,76 @@
+"""Tests for the random-source abstraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rng import RandomSource, ensure_source
+
+
+def test_same_seed_same_stream():
+    a = RandomSource(7)
+    b = RandomSource(7)
+    assert [a.randint(0, 100) for _ in range(20)] == [b.randint(0, 100) for _ in range(20)]
+
+
+def test_different_seeds_differ():
+    a = RandomSource(1)
+    b = RandomSource(2)
+    assert [a.randint(0, 10 ** 9) for _ in range(5)] != [b.randint(0, 10 ** 9) for _ in range(5)]
+
+
+def test_spawn_is_deterministic_per_label():
+    parent_one = RandomSource(99)
+    parent_two = RandomSource(99)
+    child_one = parent_one.spawn("scheduler")
+    child_two = parent_two.spawn("scheduler")
+    assert [child_one.randrange(1000) for _ in range(10)] == [
+        child_two.randrange(1000) for _ in range(10)
+    ]
+
+
+def test_spawn_labels_are_independent():
+    parent = RandomSource(99)
+    a = parent.spawn("a")
+    b = parent.spawn("b")
+    assert [a.randrange(10 ** 6) for _ in range(5)] != [b.randrange(10 ** 6) for _ in range(5)]
+
+
+def test_spawn_without_seed_still_works():
+    parent = RandomSource(None)
+    child = parent.spawn("x")
+    assert isinstance(child.randrange(10), int)
+
+
+def test_ensure_source_accepts_int_none_and_source():
+    source = RandomSource(5)
+    assert ensure_source(source) is source
+    assert isinstance(ensure_source(5), RandomSource)
+    assert isinstance(ensure_source(None), RandomSource)
+
+
+def test_choice_and_shuffle():
+    source = RandomSource(3)
+    items = list(range(10))
+    assert source.choice(items) in items
+    shuffled = list(items)
+    source.shuffle(shuffled)
+    assert sorted(shuffled) == items
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32), st.integers(min_value=0, max_value=50))
+def test_randint_within_bounds(seed, high):
+    source = RandomSource(seed)
+    value = source.randint(0, high)
+    assert 0 <= value <= high
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32))
+def test_coin_is_boolean(seed):
+    assert RandomSource(seed).coin() in (True, False)
+
+
+def test_randrange_rejects_zero():
+    with pytest.raises(ValueError):
+        RandomSource(1).randrange(0)

@@ -1,0 +1,114 @@
+"""Tests for schedulers and the paper's interaction-sequence notation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ScheduleExhaustedError
+from repro.core.rng import RandomSource
+from repro.core.scheduler import (
+    InterleavedScheduler,
+    SequenceScheduler,
+    UniformRandomScheduler,
+    concat,
+    full_clockwise_sweep,
+    repeat,
+    seq_l,
+    seq_r,
+    token_round_trip,
+)
+from repro.topology.ring import DirectedRing
+
+
+def test_uniform_scheduler_only_returns_population_arcs():
+    ring = DirectedRing(6)
+    scheduler = UniformRandomScheduler(ring, rng=1)
+    arcs = set(ring.arcs)
+    for _ in range(200):
+        assert scheduler.next_arc() in arcs
+
+
+def test_uniform_scheduler_is_roughly_uniform():
+    ring = DirectedRing(4)
+    scheduler = UniformRandomScheduler(ring, rng=7)
+    counts = {arc: 0 for arc in ring.arcs}
+    draws = 8000
+    for _ in range(draws):
+        counts[scheduler.next_arc()] += 1
+    expected = draws / len(ring.arcs)
+    for count in counts.values():
+        assert 0.8 * expected <= count <= 1.2 * expected
+
+
+def test_sequence_scheduler_replays_and_exhausts():
+    ring = DirectedRing(5)
+    sequence = seq_r(ring, 0, 3)
+    scheduler = SequenceScheduler(sequence)
+    assert [scheduler.next_arc() for _ in range(3)] == sequence
+    with pytest.raises(ScheduleExhaustedError):
+        scheduler.next_arc()
+    scheduler.reset()
+    assert scheduler.remaining == 3
+
+
+def test_interleaved_scheduler_switches_to_random():
+    ring = DirectedRing(5)
+    prefix = seq_r(ring, 0, 2)
+    scheduler = InterleavedScheduler(prefix, ring, rng=3)
+    assert scheduler.next_arc() == prefix[0]
+    assert scheduler.next_arc() == prefix[1]
+    # After the prefix the scheduler keeps producing valid arcs indefinitely.
+    for _ in range(50):
+        assert scheduler.next_arc() in set(ring.arcs)
+
+
+def test_seq_r_matches_paper_definition():
+    ring = DirectedRing(6)
+    assert seq_r(ring, 4, 4) == [(4, 5), (5, 0), (0, 1), (1, 2)]
+
+
+def test_seq_l_matches_paper_definition():
+    ring = DirectedRing(6)
+    # seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}
+    assert seq_l(ring, 2, 3) == [(1, 2), (0, 1), (5, 0)]
+
+
+def test_concat_and_repeat():
+    ring = DirectedRing(4)
+    a = seq_r(ring, 0, 2)
+    b = seq_l(ring, 0, 1)
+    assert concat(a, b) == a + b
+    assert repeat(a, 3) == a * 3
+    with pytest.raises(ValueError):
+        repeat(a, -1)
+
+
+def test_full_clockwise_sweep_covers_every_arc():
+    ring = DirectedRing(7)
+    sweep = full_clockwise_sweep(ring)
+    assert len(sweep) == 7
+    assert set(sweep) == set(ring.arcs)
+
+
+def test_token_round_trip_length_matches_lemma_3_5():
+    ring = DirectedRing(16)
+    psi = 4
+    sequence = token_round_trip(ring, segment_start=0, psi=psi)
+    assert len(sequence) == (2 * psi - 1 + 2 * psi - 1) * 2 * psi
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=3, max_value=20), st.integers(min_value=0, max_value=19),
+       st.integers(min_value=1, max_value=30))
+def test_seq_r_and_seq_l_stay_on_the_ring(n, start, length):
+    ring = DirectedRing(n)
+    arcs = set(ring.arcs)
+    assert all(arc in arcs for arc in seq_r(ring, start, length))
+    assert all(arc in arcs for arc in seq_l(ring, start, length))
+
+
+def test_scheduler_rng_exposed_for_substreams():
+    ring = DirectedRing(4)
+    scheduler = UniformRandomScheduler(ring, rng=RandomSource(8))
+    assert isinstance(scheduler.rng, RandomSource)

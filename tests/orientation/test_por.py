@@ -1,0 +1,120 @@
+"""Tests for the ring-orientation protocol P_OR (Algorithm 6, Theorem 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.rng import RandomSource
+from repro.core.simulator import Simulation
+from repro.protocols.orientation.por import (
+    PORProtocol,
+    PORState,
+    adversarial_oriented_configuration,
+    is_oriented,
+    is_two_hop_proper,
+    orientation_direction,
+    oriented_configuration,
+    ring_two_hop_coloring,
+)
+from repro.topology.ring import UndirectedRing
+
+PROTOCOL = PORProtocol(num_colors=5)
+
+
+def test_num_colors_minimum():
+    with pytest.raises(InvalidParameterError):
+        PORProtocol(num_colors=2)
+
+
+def test_state_space_is_constant():
+    assert PROTOCOL.state_space_size() == 5 ** 4 * 2
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=3, max_value=60))
+def test_ring_two_hop_coloring_is_proper(n):
+    colors = ring_two_hop_coloring(n)
+    assert is_two_hop_proper(colors)
+    assert max(colors) < 5
+
+
+def test_oriented_configuration_is_safe_and_directional():
+    ring = UndirectedRing(11)
+    clockwise = oriented_configuration(ring, clockwise=True)
+    counter = oriented_configuration(ring, clockwise=False)
+    assert is_oriented(clockwise.states())
+    assert orientation_direction(clockwise.states()) == "clockwise"
+    assert orientation_direction(counter.states()) == "counter-clockwise"
+
+
+def test_adversarial_configuration_keeps_coloring_proper():
+    ring = UndirectedRing(14)
+    configuration = adversarial_oriented_configuration(ring, rng=3)
+    colors = [state.color for state in configuration]
+    assert is_two_hop_proper(colors)
+
+
+def test_fight_strong_head_pushes_weak_head_back():
+    # u and v point at each other; v is strong, u weak: u is turned away and
+    # inherits the strong flag (the advancing-front marker).
+    u = PORState(color=0, c1=4, c2=1, dir=1, strong=0)
+    v = PORState(color=1, c1=0, c2=2, dir=0, strong=1)
+    new_u, new_v = PROTOCOL.transition(u, v)
+    assert new_u.dir == 4
+    assert new_u.strong == 1 and new_v.strong == 0
+    assert new_v.dir == 0
+
+
+def test_fight_tie_pushes_responder_back():
+    u = PORState(color=0, c1=4, c2=1, dir=1, strong=0)
+    v = PORState(color=1, c1=0, c2=2, dir=0, strong=0)
+    new_u, new_v = PROTOCOL.transition(u, v)
+    assert new_v.dir == 2
+    assert new_v.strong == 1 and new_u.strong == 0
+
+
+def test_non_fighting_pointer_loses_strength():
+    u = PORState(color=0, c1=4, c2=1, dir=1, strong=1)
+    v = PORState(color=1, c1=0, c2=2, dir=2, strong=1)
+    new_u, new_v = PROTOCOL.transition(u, v)
+    assert new_u.strong == 0
+    assert new_v.strong == 1  # v does not point at u: untouched by lines 70-73
+    assert new_u.dir == 1 and new_v.dir == 2
+
+
+def test_oriented_configuration_is_closed_under_execution():
+    ring = UndirectedRing(12)
+    simulation = Simulation(PROTOCOL, ring, oriented_configuration(ring), rng=4)
+    for _ in range(30):
+        simulation.run(200)
+        assert is_oriented(simulation.states())
+
+
+@pytest.mark.parametrize("n,seed", [(8, 1), (11, 2), (16, 3), (23, 4)])
+def test_orientation_converges_from_adversarial_pointers(n, seed):
+    ring = UndirectedRing(n)
+    start = adversarial_oriented_configuration(ring, rng=seed)
+    simulation = Simulation(PROTOCOL, ring, start, rng=seed + 100)
+    result = simulation.run_until(is_oriented, max_steps=400_000, check_interval=8)
+    assert result.satisfied
+    assert orientation_direction(simulation.states()) in ("clockwise", "counter-clockwise")
+
+
+def test_colors_never_change_during_orientation():
+    ring = UndirectedRing(10)
+    start = adversarial_oriented_configuration(ring, rng=9)
+    original_colors = [state.color for state in start]
+    simulation = Simulation(PROTOCOL, ring, start, rng=10)
+    simulation.run(5000)
+    assert [state.color for state in simulation.states()] == original_colors
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_transition_preserves_validity(seed):
+    rng = RandomSource(seed)
+    new_u, new_v = PROTOCOL.transition(PROTOCOL.random_state(rng), PROTOCOL.random_state(rng))
+    PROTOCOL.validate(new_u)
+    PROTOCOL.validate(new_v)

@@ -1,0 +1,91 @@
+"""Tests for the two-hop-coloring substrate and the full orientation pipeline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.rng import RandomSource
+from repro.core.simulator import Simulation
+from repro.protocols.orientation.pipeline import OrientedRingPipeline
+from repro.protocols.orientation.two_hop_coloring import (
+    ColoringState,
+    TwoHopColoringProtocol,
+    coloring_is_two_hop_proper,
+    memories_match_neighbors,
+    random_coloring_configuration,
+)
+from repro.topology.ring import UndirectedRing
+
+
+def test_palette_and_streak_minimums():
+    with pytest.raises(InvalidParameterError):
+        TwoHopColoringProtocol(num_colors=4)
+    with pytest.raises(InvalidParameterError):
+        TwoHopColoringProtocol(streak_limit=1)
+
+
+def test_state_space_is_constant():
+    protocol = TwoHopColoringProtocol(num_colors=5, streak_limit=4)
+    assert protocol.state_space_size() == 5 ** 4 * 5
+
+
+def test_direct_conflict_is_repaired_immediately():
+    protocol = TwoHopColoringProtocol(rng=1)
+    u = ColoringState(color=2, c1=0, c2=1, streak_color=0, streak=0)
+    v = ColoringState(color=2, c1=3, c2=4, streak_color=0, streak=0)
+    _, new_v = protocol.transition(u, v)
+    assert new_v.color != 2
+
+
+def test_observation_memory_keeps_two_distinct_colors():
+    state = ColoringState(color=0, c1=1, c2=2, streak_color=1, streak=1)
+    state.observe(3, streak_limit=4)
+    assert (state.c1, state.c2) == (3, 1)
+    state.observe(3, streak_limit=4)
+    assert (state.c1, state.c2) == (3, 1)
+    assert state.streak == 2
+
+
+@settings(max_examples=100)
+@given(st.integers(min_value=0, max_value=10 ** 9))
+def test_transition_preserves_validity(seed):
+    protocol = TwoHopColoringProtocol(rng=7)
+    rng = RandomSource(seed)
+    new_u, new_v = protocol.transition(protocol.random_state(rng), protocol.random_state(rng))
+    protocol.validate(new_u)
+    protocol.validate(new_v)
+
+
+@pytest.mark.parametrize("n,seed", [(9, 1), (13, 2), (20, 3)])
+def test_coloring_converges_from_random_start(n, seed):
+    protocol = TwoHopColoringProtocol(rng=seed)
+    ring = UndirectedRing(n)
+    start = random_coloring_configuration(n, protocol, rng=seed + 10)
+    simulation = Simulation(protocol, ring, start, rng=seed + 20)
+    result = simulation.run_until(
+        lambda states: coloring_is_two_hop_proper(states) and memories_match_neighbors(states),
+        max_steps=600_000,
+        check_interval=4,
+    )
+    assert result.satisfied
+
+
+def test_pipeline_elects_a_unique_leader_on_an_unoriented_ring():
+    pipeline = OrientedRingPipeline(n=12, kappa_factor=4, seed=3)
+    result = pipeline.run(max_steps_per_phase=2_000_000)
+    assert result.leader_index is not None
+    assert result.orientation in ("clockwise", "counter-clockwise")
+    assert result.total_steps == (
+        result.coloring_steps + result.orientation_steps + result.election_steps
+    )
+
+
+def test_pipeline_phases_can_run_individually():
+    pipeline = OrientedRingPipeline(n=10, kappa_factor=4, seed=5)
+    coloring, steps = pipeline.run_coloring_phase(max_steps=2_000_000)
+    assert steps >= 0
+    assert coloring_is_two_hop_proper(coloring.states())
+    oriented, _ = pipeline.run_orientation_phase(coloring, max_steps=2_000_000)
+    assert len(oriented) == 10

@@ -1,0 +1,130 @@
+"""Integration tests for P_PL: convergence from every adversary and closure afterwards.
+
+These are the two halves of self-stabilization (Definition 2.1) exercised on
+real executions: starting from each catalogue adversary the population
+reaches ``S_PL`` within a generous step budget, and from a safe configuration
+the outputs never change again while the unique leader survives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import ADVERSARIES, build
+from repro.analysis.convergence import closure_check
+from repro.core.rng import RandomSource
+from repro.core.simulator import Simulation
+from repro.protocols.ppl import (
+    PPLParams,
+    PPLProtocol,
+    in_cpb,
+    is_safe,
+    leader_count,
+    perfect_configuration,
+)
+from repro.topology.ring import DirectedRing
+
+N = 12
+PARAMS = PPLParams.for_population(N, kappa_factor=4)
+PROTOCOL = PPLProtocol(PARAMS)
+RING = DirectedRing(N)
+BUDGET = 1_500_000
+
+
+@pytest.mark.parametrize("adversary", sorted(ADVERSARIES))
+def test_convergence_from_every_adversary(adversary):
+    start = build(adversary, N, PARAMS, rng=101)
+    simulation = Simulation(PROTOCOL, RING, start, rng=202)
+    result = simulation.run_until(
+        lambda states: is_safe(states, PARAMS), max_steps=BUDGET, check_interval=32
+    )
+    assert result.satisfied, f"{adversary} did not converge within {BUDGET} steps"
+    assert leader_count(simulation.states()) == 1
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+def test_convergence_from_uniform_adversary_many_seeds(seed):
+    start = build("uniform", N, PARAMS, rng=seed)
+    simulation = Simulation(PROTOCOL, RING, start, rng=seed + 1000)
+    result = simulation.run_until(
+        lambda states: is_safe(states, PARAMS), max_steps=BUDGET, check_interval=32
+    )
+    assert result.satisfied
+
+
+def test_closure_outputs_never_change_from_safe_configuration():
+    report = closure_check(PROTOCOL, RING, perfect_configuration(N, PARAMS),
+                           steps=60_000, rng=7)
+    assert report.closed
+    assert report.leader_always_unique
+
+
+def test_safe_configuration_stays_in_spl():
+    simulation = Simulation(PROTOCOL, RING, perfect_configuration(N, PARAMS), rng=8)
+    for _ in range(40):
+        simulation.run(500)
+        assert is_safe(simulation.states(), PARAMS)
+
+
+def test_cpb_is_closed_and_never_loses_all_leaders():
+    """Lemma 4.1/4.2: once every live bullet is peaceful, the leader count never hits zero."""
+    start = perfect_configuration(N, PARAMS)
+    simulation = Simulation(PROTOCOL, RING, start, rng=9)
+    for _ in range(200):
+        simulation.run(100)
+        states = simulation.states()
+        assert in_cpb(states)
+        assert leader_count(states) >= 1
+
+
+def test_convergence_on_various_ring_sizes():
+    for n in (4, 6, 9, 16):
+        params = PPLParams.for_population(n, kappa_factor=4)
+        protocol = PPLProtocol(params)
+        ring = DirectedRing(n)
+        start = build("uniform", n, params, rng=n)
+        simulation = Simulation(protocol, ring, start, rng=n + 77)
+        result = simulation.run_until(
+            lambda states, p=params: is_safe(states, p),
+            max_steps=BUDGET,
+            check_interval=32,
+        )
+        assert result.satisfied, f"n={n} did not converge"
+
+
+def test_convergence_with_paper_kappa_factor_small_ring():
+    """One run with the paper's constant c1 = 32 (slower, so only a tiny ring)."""
+    n = 8
+    params = PPLParams.for_population(n, kappa_factor=32)
+    protocol = PPLProtocol(params)
+    ring = DirectedRing(n)
+    start = build("leaderless_trap", n, params, rng=3)
+    simulation = Simulation(protocol, ring, start, rng=4)
+    result = simulation.run_until(
+        lambda states: is_safe(states, params), max_steps=4_000_000, check_interval=64
+    )
+    assert result.satisfied
+
+
+def test_distinct_seeds_give_distinct_executions_but_same_outcome():
+    outcomes = set()
+    for seed in (11, 12):
+        start = build("uniform", N, PARAMS, rng=55)
+        simulation = Simulation(PROTOCOL, RING, start, rng=seed)
+        result = simulation.run_until(
+            lambda states: is_safe(states, PARAMS), max_steps=BUDGET, check_interval=32
+        )
+        assert result.satisfied
+        outcomes.add(result.steps)
+    # Different schedules almost surely take different numbers of steps.
+    assert len(outcomes) == 2
+
+
+def test_rng_source_reuse_is_safe():
+    rng = RandomSource(123)
+    start = build("half_leaders", N, PARAMS, rng=rng)
+    simulation = Simulation(PROTOCOL, RING, start, rng=321)
+    result = simulation.run_until(
+        lambda states: is_safe(states, PARAMS), max_steps=BUDGET, check_interval=32
+    )
+    assert result.satisfied

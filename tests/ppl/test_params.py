@@ -1,0 +1,78 @@
+"""Tests for the P_PL parameter bundle (psi, kappa_max, state-space accounting)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.protocols.ppl.params import PPLParams, expected_segment_count
+
+
+def test_minimum_psi_is_two():
+    with pytest.raises(InvalidParameterError):
+        PPLParams(psi=1)
+    PPLParams(psi=2)  # does not raise
+
+
+def test_kappa_factor_must_be_positive():
+    with pytest.raises(InvalidParameterError):
+        PPLParams(psi=3, kappa_factor=0)
+
+
+def test_derived_quantities():
+    params = PPLParams(psi=4, kappa_factor=32)
+    assert params.kappa_max == 128
+    assert params.dist_modulus == 8
+    assert params.segment_id_modulus == 16
+    assert params.trajectory_length == 2 * 16 - 8 + 1
+    assert params.max_population_size() == 16
+    assert params.supports_population(16)
+    assert not params.supports_population(17)
+
+
+@given(st.integers(min_value=2, max_value=100_000))
+def test_for_population_covers_n(n):
+    params = PPLParams.for_population(n)
+    assert params.supports_population(n)
+    assert params.psi >= 2
+    # psi = ceil(log2 n) + O(1): never more than one above the ceiling here.
+    assert params.psi <= max(2, math.ceil(math.log2(n)))
+
+
+def test_for_population_slack_increases_psi():
+    base = PPLParams.for_population(20)
+    slack = PPLParams.for_population(20, slack=2)
+    assert slack.psi == base.psi + 2
+    with pytest.raises(InvalidParameterError):
+        PPLParams.for_population(20, slack=-1)
+    with pytest.raises(InvalidParameterError):
+        PPLParams.for_population(1)
+
+
+def test_state_space_is_product_of_domains():
+    params = PPLParams(psi=3, kappa_factor=4)
+    token = params.token_domain_size()
+    assert token == 1 + (2 * 3 - 1) * 4
+    expected = (2 * 2 * 6 * 2) * token * token * 2 * (12 + 1) * 4 * (12 + 1) * 3 * 2 * 2
+    assert params.state_space_size() == expected
+    assert params.memory_bits() == pytest.approx(math.log2(expected))
+
+
+@given(st.integers(min_value=2, max_value=12))
+def test_state_space_grows_polynomially_in_psi(psi):
+    """The state count is polynomial in psi (hence polylog in n)."""
+    params = PPLParams(psi=psi, kappa_factor=32)
+    assert params.state_space_size() <= 10 ** 8 * psi ** 6
+
+
+@given(st.integers(min_value=2, max_value=500), st.integers(min_value=2, max_value=16))
+def test_expected_segment_count_is_ceiling(n, psi):
+    assert expected_segment_count(n, psi) == -(-n // psi)
+
+
+def test_expected_segment_count_rejects_tiny_population():
+    with pytest.raises(InvalidParameterError):
+        expected_segment_count(1, 4)

@@ -1,0 +1,127 @@
+"""Tests for the P_PL per-agent state record and its validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import InvalidStateError
+from repro.core.rng import RandomSource
+from repro.protocols.ppl.params import MODE_CONSTRUCT, MODE_DETECT, PPLParams
+from repro.protocols.ppl.state import (
+    BULLET_LIVE,
+    PPLState,
+    random_state,
+    random_token,
+    validate_state,
+    validate_token,
+)
+
+PARAMS = PPLParams(psi=4, kappa_factor=4)
+
+
+def test_follower_and_fresh_leader_constructors():
+    follower = PPLState.follower(dist=3, b=1, last=1, mode=MODE_DETECT)
+    assert (follower.leader, follower.dist, follower.b, follower.last) == (0, 3, 1, 1)
+    assert follower.is_detecting()
+
+    leader = PPLState.fresh_leader()
+    assert leader.leader == 1
+    assert leader.bullet == BULLET_LIVE
+    assert leader.shield == 1
+    assert leader.signal_b == 0
+    validate_state(leader, PARAMS)
+
+
+def test_copy_is_independent():
+    original = PPLState.follower(dist=2)
+    clone = original.copy()
+    clone.dist = 5
+    clone.token_b = (1, 0, 1)
+    assert original.dist == 2
+    assert original.token_b is None
+    assert original == PPLState.follower(dist=2)
+
+
+def test_become_leader_matches_creation_rule():
+    state = PPLState.follower(dist=3)
+    state.become_leader()
+    assert state.leader == 1
+    assert state.bullet == BULLET_LIVE
+    assert state.shield == 1
+    assert state.signal_b == 0
+    # dist is untouched by the creation rule (the construction phase fixes it).
+    assert state.dist == 3
+
+
+def test_border_predicate():
+    assert PPLState.follower(dist=0).is_border(PARAMS)
+    assert PPLState.follower(dist=PARAMS.psi).is_border(PARAMS)
+    assert not PPLState.follower(dist=1).is_border(PARAMS)
+
+
+def test_token_accessors():
+    state = PPLState.follower()
+    state.set_token("B", (2, 1, 0))
+    state.set_token("W", (-1, 0, 1))
+    assert state.token("B") == (2, 1, 0)
+    assert state.token("W") == (-1, 0, 1)
+    assert state.token_b == (2, 1, 0)
+
+
+@pytest.mark.parametrize("token", [(0, 0, 0), (5, 0, 0), (-4, 1, 1), (1, 2, 0), (1, 0, "x")])
+def test_validate_token_rejects_bad_tokens(token):
+    with pytest.raises(InvalidStateError):
+        validate_token(token, PARAMS, "token_b")
+
+
+@pytest.mark.parametrize("token", [None, (1, 0, 1), (4, 1, 1), (-1, 0, 0), (-3, 1, 0)])
+def test_validate_token_accepts_good_tokens(token):
+    validate_token(token, PARAMS, "token_b")
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("leader", 2),
+        ("b", -1),
+        ("dist", 8),
+        ("last", 3),
+        ("mode", "weird"),
+        ("clock", 17),
+        ("hits", 5),
+        ("signal_r", -1),
+        ("bullet", 3),
+        ("shield", 2),
+        ("signal_b", 2),
+    ],
+)
+def test_validate_state_rejects_out_of_domain_fields(field, value):
+    state = PPLState.follower(dist=1)
+    setattr(state, field, value)
+    with pytest.raises(InvalidStateError):
+        validate_state(state, PARAMS)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32))
+def test_random_state_is_always_valid(seed):
+    state = random_state(RandomSource(seed), PARAMS)
+    validate_state(state, PARAMS)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32))
+def test_random_token_is_always_valid(seed):
+    validate_token(random_token(RandomSource(seed), PARAMS), PARAMS, "token_b")
+
+
+def test_as_tuple_round_trips_equality():
+    rng = RandomSource(5)
+    a = random_state(rng, PARAMS)
+    b = a.copy()
+    assert a.as_tuple() == b.as_tuple()
+    b.clock = (b.clock + 1) % (PARAMS.kappa_max + 1)
+    assert a.as_tuple() != b.as_tuple()
+
+
+def test_mode_constants_are_distinct():
+    assert MODE_CONSTRUCT != MODE_DETECT

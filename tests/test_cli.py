@@ -1,0 +1,53 @@
+"""Tests for the ``repro-ssle`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["demo"])
+    assert args.sizes == [8, 16, 32]
+    assert args.trials == 3
+    assert args.command == "demo"
+
+
+def test_parser_accepts_custom_sizes():
+    args = build_parser().parse_args(["--sizes", "4,6", "table1"])
+    assert args.sizes == [4, 6]
+
+
+def test_parser_rejects_bad_sizes():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--sizes", "1,4", "table1"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--sizes", "", "table1"])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["not-a-command"])
+
+
+def test_demo_command_runs_end_to_end(capsys):
+    exit_code = main(["--sizes", "8", "--trials", "1", "--max-steps", "600000",
+                      "--seed", "3", "demo"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "converged: True" in captured.out
+
+
+def test_figure2_command_prints_trajectory(capsys):
+    exit_code = main(["figure2"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "match = True" in captured.out
+
+
+def test_figure1_command_prints_embedding(capsys):
+    exit_code = main(["--sizes", "8", "--trials", "1", "figure1"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "perfect=True" in captured.out

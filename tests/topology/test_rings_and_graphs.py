@@ -1,0 +1,108 @@
+"""Tests for population graphs: generic graphs, rings, complete graphs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import InvalidParameterError, TopologyError
+from repro.topology.complete import CompleteGraph
+from repro.topology.graph import Population, population_from_edges
+from repro.topology.ring import DirectedRing, UndirectedRing
+
+
+# ---------------------------------------------------------------------- #
+# Generic populations
+# ---------------------------------------------------------------------- #
+def test_population_rejects_tiny_self_loops_and_duplicates():
+    with pytest.raises(InvalidParameterError):
+        Population(1, [(0, 0)])
+    with pytest.raises(TopologyError):
+        Population(3, [(0, 0)])
+    with pytest.raises(TopologyError):
+        Population(3, [(0, 1), (0, 1), (1, 2)])
+
+
+def test_population_requires_weak_connectivity():
+    with pytest.raises(TopologyError):
+        Population(4, [(0, 1), (2, 3)])
+
+
+def test_population_neighbor_queries():
+    population = Population(3, [(0, 1), (1, 2), (2, 0)])
+    assert population.out_neighbors(0) == [1]
+    assert population.in_neighbors(0) == [2]
+    assert population.degree(1) == 2
+    assert population.has_arc(0, 1)
+    assert not population.has_arc(1, 0)
+
+
+def test_population_from_edges_directed_and_undirected():
+    directed = population_from_edges(3, [(0, 1), (1, 2), (2, 0)], directed=True)
+    undirected = population_from_edges(3, [(0, 1), (1, 2), (2, 0)], directed=False)
+    assert len(directed.arcs) == 3
+    assert len(undirected.arcs) == 6
+
+
+def test_agent_index_bounds_are_checked():
+    population = Population(3, [(0, 1), (1, 2), (2, 0)])
+    with pytest.raises(TopologyError):
+        population.out_neighbors(5)
+
+
+# ---------------------------------------------------------------------- #
+# Directed rings
+# ---------------------------------------------------------------------- #
+@given(st.integers(min_value=2, max_value=64))
+def test_directed_ring_structure(n):
+    ring = DirectedRing(n)
+    assert ring.size == n
+    assert len(ring.arcs) == n
+    for i in range(n):
+        assert ring.right_neighbor(i) == (i + 1) % n
+        assert ring.left_neighbor(i) == (i - 1) % n
+        assert ring.arc_by_index(i) == (i, (i + 1) % n)
+        assert ring.arc_index(ring.arc_by_index(i)) == i
+
+
+def test_directed_ring_rejects_singleton():
+    with pytest.raises(InvalidParameterError):
+        DirectedRing(1)
+
+
+def test_arc_index_rejects_non_arcs():
+    ring = DirectedRing(5)
+    with pytest.raises(TopologyError):
+        ring.arc_index((0, 2))
+
+
+def test_clockwise_distance():
+    ring = DirectedRing(10)
+    assert ring.clockwise_distance(3, 7) == 4
+    assert ring.clockwise_distance(7, 3) == 6
+    assert ring.clockwise_distance(2, 2) == 0
+
+
+# ---------------------------------------------------------------------- #
+# Undirected rings and complete graphs
+# ---------------------------------------------------------------------- #
+@given(st.integers(min_value=3, max_value=40))
+def test_undirected_ring_has_both_directions(n):
+    ring = UndirectedRing(n)
+    assert len(ring.arcs) == 2 * n
+    for i in range(n):
+        assert ring.has_arc(i, (i + 1) % n)
+        assert ring.has_arc((i + 1) % n, i)
+    assert ring.neighbors(0) == (n - 1, 1)
+
+
+def test_undirected_ring_minimum_size():
+    with pytest.raises(InvalidParameterError):
+        UndirectedRing(2)
+
+
+@given(st.integers(min_value=2, max_value=20))
+def test_complete_graph_arc_count(n):
+    graph = CompleteGraph(n)
+    assert len(graph.arcs) == n * (n - 1)
+    assert graph.degree(0) == 2 * (n - 1)
