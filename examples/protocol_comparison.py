@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 import sys
 
-from repro.experiments import ExperimentConfig, run_fischer_jiang, run_ppl, run_yokota
+from repro.api import ExperimentConfig, run_spec
 from repro.experiments.reporting import format_table
 from repro.protocols.baselines import FischerJiangProtocol, Yokota2021Protocol
 from repro.protocols.ppl import PPLParams
@@ -30,9 +30,10 @@ def main(sizes=(8, 16, 24)) -> int:
                               kappa_factor=4, seed=11)
     rows = []
     for n in config.sizes:
-        ppl = run_ppl(n, config)
-        yokota = run_yokota(n, config)
-        fischer = run_fischer_jiang(n, config)
+        # One generic registry call per protocol — no per-protocol adapters.
+        ppl = run_spec("ppl", n, config)
+        yokota = run_spec("yokota2021", n, config)
+        fischer = run_spec("fischer-jiang", n, config)
         ppl_states = PPLParams.for_population(n, kappa_factor=config.kappa_factor)
         rows.append((n, "P_PL (this paper)", f"{ppl.mean_steps():.0f}",
                      f"{ppl_states.memory_bits():.1f} bits (polylog n)"))

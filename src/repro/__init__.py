@@ -20,6 +20,14 @@ Quickstart
 True
 """
 
+from repro.api import (
+    ExperimentBuilder,
+    ExperimentConfig,
+    ExperimentResult,
+    ProtocolSpec,
+    experiment,
+    run_spec,
+)
 from repro.core import (
     Configuration,
     ConvergenceError,
@@ -33,17 +41,21 @@ from repro.core import (
 from repro.protocols.ppl import PPLParams, PPLProtocol, PPLState
 from repro.topology import CompleteGraph, DirectedRing, Population, UndirectedRing
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompleteGraph",
     "Configuration",
     "ConvergenceError",
     "DirectedRing",
+    "ExperimentBuilder",
+    "ExperimentConfig",
+    "ExperimentResult",
     "PPLParams",
     "PPLProtocol",
     "PPLState",
     "Population",
+    "ProtocolSpec",
     "RandomSource",
     "ReproError",
     "RunResult",
@@ -52,4 +64,6 @@ __all__ = [
     "UndirectedRing",
     "UniformRandomScheduler",
     "__version__",
+    "experiment",
+    "run_spec",
 ]

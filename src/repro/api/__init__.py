@@ -1,0 +1,49 @@
+"""The experiment API: registry, fluent builder, and parallel trial runner.
+
+This package is the single entry point for running anything in the repo:
+
+* :mod:`repro.api.registry` — a :class:`ProtocolSpec` per protocol, and the
+  generic :func:`run_spec` that replaced the hand-written harness adapters;
+* :mod:`repro.api.builder` — the fluent chain
+  ``experiment("ppl").on_ring(64).from_adversarial().trials(8).run()``;
+* :mod:`repro.api.executor` — deterministic serial/parallel trial execution;
+* :mod:`repro.api.config` — the shared :class:`ExperimentConfig`.
+"""
+
+from repro.api.builder import ExperimentBuilder, ExperimentResult, experiment
+from repro.api.config import ExperimentConfig
+from repro.api.executor import TrialResult, TrialTask, execute_trial, run_trials, trial_tasks
+from repro.api.registry import (
+    ProtocolSpec,
+    ensure_angluin_spec,
+    evaluate_analytic,
+    get_spec,
+    list_specs,
+    register,
+    run_spec,
+    runner_for,
+    spec_names,
+    unregister,
+)
+
+__all__ = [
+    "ExperimentBuilder",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ProtocolSpec",
+    "TrialResult",
+    "TrialTask",
+    "ensure_angluin_spec",
+    "evaluate_analytic",
+    "execute_trial",
+    "experiment",
+    "get_spec",
+    "list_specs",
+    "register",
+    "run_spec",
+    "run_trials",
+    "runner_for",
+    "spec_names",
+    "trial_tasks",
+    "unregister",
+]

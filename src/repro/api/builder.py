@@ -1,0 +1,235 @@
+"""Fluent experiment builder: one readable chain from protocol to result.
+
+>>> from repro.api import experiment
+>>> result = (experiment("ppl")
+...           .on_ring(64)
+...           .from_adversarial()
+...           .until_safe()
+...           .trials(8)
+...           .seed(7)
+...           .run())
+>>> result.all_converged
+True
+
+Every method returns the builder, every setting has a sensible default, and
+``run()`` returns a typed :class:`ExperimentResult` with per-trial step
+counts, wall times, and convergence flags.  ``parallel()`` switches the same
+chain onto the process-pool executor with bit-identical trial outcomes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.config import ExperimentConfig
+from repro.api.executor import TrialResult, run_trials, trial_tasks
+from repro.api.registry import ProtocolSpec, get_spec
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Typed outcome of one built experiment (one protocol, one ring size)."""
+
+    spec: str
+    protocol: str
+    population_size: int
+    family: str
+    seed: int
+    max_steps: int
+    workers: int
+    trials: Tuple[TrialResult, ...]
+    wall_time: float
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def trial_count(self) -> int:
+        return len(self.trials)
+
+    @property
+    def steps(self) -> List[int]:
+        """Per-trial step counts, in trial order (budget misses included)."""
+        return [trial.steps for trial in self.trials]
+
+    @property
+    def converged(self) -> List[bool]:
+        """Per-trial convergence flags, in trial order."""
+        return [trial.converged for trial in self.trials]
+
+    @property
+    def all_converged(self) -> bool:
+        return all(trial.converged for trial in self.trials)
+
+    def mean_steps(self) -> float:
+        """Mean steps over converged trials (``inf`` when nothing converged)."""
+        counts = [trial.steps for trial in self.trials if trial.converged]
+        return sum(counts) / len(counts) if counts else float("inf")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (used by ``repro-ssle run --format json``)."""
+        return {
+            "spec": self.spec,
+            "protocol": self.protocol,
+            "population_size": self.population_size,
+            "family": self.family,
+            "seed": self.seed,
+            "max_steps": self.max_steps,
+            "workers": self.workers,
+            "wall_time": self.wall_time,
+            "all_converged": self.all_converged,
+            "mean_steps": self.mean_steps() if self.all_converged or any(self.converged) else None,
+            "trials": [trial.to_dict() for trial in self.trials],
+        }
+
+
+class ExperimentBuilder:
+    """Fluent configuration of one experiment over one registered protocol."""
+
+    def __init__(self, spec_name: str) -> None:
+        self._spec: ProtocolSpec = get_spec(spec_name)
+        if not self._spec.is_simulated:
+            raise ValueError(
+                f"protocol {spec_name!r} is analytic and cannot be run as an "
+                "experiment; use repro.api.evaluate_analytic() instead"
+            )
+        self._n: int = 16
+        self._family: str = self._spec.default_family
+        self._trials: int = ExperimentConfig.trials
+        self._seed: int = ExperimentConfig.seed
+        self._max_steps: int = ExperimentConfig.max_steps
+        self._check_interval: int = ExperimentConfig.check_interval
+        self._kappa_factor: int = ExperimentConfig.kappa_factor
+        self._workers: int = 1
+
+    # ------------------------------------------------------------------ #
+    # Fluent setters (each returns the builder)
+    # ------------------------------------------------------------------ #
+    def on_ring(self, n: int) -> "ExperimentBuilder":
+        """Run on a ring of ``n`` agents (validated against the spec)."""
+        self._spec.require_supported(n)
+        self._n = n
+        return self
+
+    def from_family(self, family: str) -> "ExperimentBuilder":
+        """Draw initial configurations from a named family of the spec."""
+        self._spec.require_family(family)
+        self._family = family
+        return self
+
+    def from_adversarial(self) -> "ExperimentBuilder":
+        """Uniform adversarial starts (the literature's default adversary)."""
+        return self.from_family("adversarial")
+
+    def from_random(self) -> "ExperimentBuilder":
+        """Independently random starts (alias of the adversarial family)."""
+        return self.from_family("random")
+
+    def until_safe(self) -> "ExperimentBuilder":
+        """Stop each trial at the spec's safety/stability predicate (default)."""
+        return self
+
+    def trials(self, count: int) -> "ExperimentBuilder":
+        """Number of independent trials."""
+        if count < 1:
+            raise ValueError(f"trials must be >= 1, got {count}")
+        self._trials = count
+        return self
+
+    def seed(self, value: int) -> "ExperimentBuilder":
+        """Master seed; every trial derives its own streams from it."""
+        self._seed = value
+        return self
+
+    def max_steps(self, budget: int) -> "ExperimentBuilder":
+        """Step budget per trial."""
+        if budget < 0:
+            raise ValueError(f"max_steps must be non-negative, got {budget}")
+        self._max_steps = budget
+        return self
+
+    def check_interval(self, steps: int) -> "ExperimentBuilder":
+        """How often the stop predicate is evaluated."""
+        if steps < 1:
+            raise ValueError(f"check_interval must be >= 1, got {steps}")
+        self._check_interval = steps
+        return self
+
+    def kappa_factor(self, factor: int) -> "ExperimentBuilder":
+        """The paper's constant c1 (P_PL only; ignored by the baselines)."""
+        if factor < 1:
+            raise ValueError(f"kappa_factor must be >= 1, got {factor}")
+        self._kappa_factor = factor
+        return self
+
+    def parallel(self, workers: Optional[int] = None) -> "ExperimentBuilder":
+        """Fan trials out over ``workers`` processes (``None`` = os.cpu_count)."""
+        import os
+
+        self._workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self._workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self._workers}")
+        return self
+
+    def serial(self) -> "ExperimentBuilder":
+        """Run trials in-process (the default)."""
+        self._workers = 1
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection and execution
+    # ------------------------------------------------------------------ #
+    def build_config(self) -> ExperimentConfig:
+        """The :class:`ExperimentConfig` this chain will run with."""
+        return ExperimentConfig(
+            sizes=(self._n,),
+            trials=self._trials,
+            max_steps=self._max_steps,
+            check_interval=self._check_interval,
+            kappa_factor=self._kappa_factor,
+            seed=self._seed,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """The chain's settings as a plain dict (no execution)."""
+        return {
+            "spec": self._spec.name,
+            "population_size": self._n,
+            "family": self._family,
+            "trials": self._trials,
+            "seed": self._seed,
+            "max_steps": self._max_steps,
+            "check_interval": self._check_interval,
+            "kappa_factor": self._kappa_factor,
+            "workers": self._workers,
+        }
+
+    def run(self) -> ExperimentResult:
+        """Execute the configured trials and return the typed result."""
+        config = self.build_config()
+        protocol_name = self._spec.build_protocol(self._n, config).name
+        tasks = trial_tasks(
+            self._spec.name, self._n, config, self._family,
+            rng_label=self._spec.rng_label or self._spec.name,
+        )
+        started = time.perf_counter()
+        outcomes = run_trials(tasks, workers=self._workers)
+        wall_time = time.perf_counter() - started
+        return ExperimentResult(
+            spec=self._spec.name,
+            protocol=protocol_name,
+            population_size=self._n,
+            family=self._family,
+            seed=self._seed,
+            max_steps=self._max_steps,
+            workers=self._workers,
+            trials=tuple(outcomes),
+            wall_time=wall_time,
+        )
+
+
+def experiment(spec_name: str) -> ExperimentBuilder:
+    """Entry point of the fluent API: ``experiment("ppl").on_ring(64)...``."""
+    return ExperimentBuilder(spec_name)

@@ -1,0 +1,158 @@
+"""Parallel trial runner: fan independent trials out over worker processes.
+
+Every experiment in this package is, at bottom, a batch of *independent*
+trials — same protocol, same ring size, different random streams.  This
+module turns one such batch into a list of :class:`TrialTask` records
+(primitive, picklable) and executes them either serially in-process or on a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Determinism
+-----------
+Parallel execution is bit-for-bit identical to serial execution for the same
+seed because all randomness is decided *before* the fan-out: the parent
+process derives one configuration seed and one scheduler seed per trial from
+the master seed (mirroring the spawn chain the serial
+:func:`repro.analysis.convergence.measure_convergence` loop has always used)
+and ships only those integers to the workers.  A worker reconstructs its
+:class:`~repro.core.rng.RandomSource` streams from the integers, so the order
+in which workers run — or whether they run in another process at all — cannot
+change any trial's outcome.  Only wall-clock timings differ between modes.
+
+Workers re-resolve the protocol spec *by name* from
+:mod:`repro.api.registry`, so nothing protocol-specific (factories, stop
+predicates, oracle simulations) ever crosses the process boundary.  Specs
+registered at import time are therefore visible in every worker; specs
+registered dynamically at runtime additionally require the ``fork`` start
+method (the default on Linux, and forced below when available).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.config import ExperimentConfig
+from repro.core.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One independent trial, fully described by picklable primitives."""
+
+    spec_name: str
+    population_size: int
+    trial: int
+    family: str
+    configuration_seed: int
+    scheduler_seed: int
+    config: ExperimentConfig
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial: steps to the stop predicate, or a budget miss."""
+
+    trial: int
+    steps: int
+    converged: bool
+    wall_time: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def trial_tasks(
+    spec_name: str,
+    n: int,
+    config: ExperimentConfig,
+    family: str,
+    trials: Optional[int] = None,
+    rng_label: Optional[str] = None,
+) -> List[TrialTask]:
+    """Derive the per-trial seed pairs for one batch, in trial order.
+
+    ``rng_label`` defaults to ``spec_name``; the harness shims override it to
+    reproduce the exact random streams of the pre-registry adapters.
+    """
+    count = config.trials if trials is None else trials
+    if count < 1:
+        raise ValueError(f"trials must be >= 1, got {count}")
+    source = config.rng(f"{rng_label or spec_name}-{n}")
+    tasks: List[TrialTask] = []
+    for trial in range(count):
+        trial_rng = source.spawn(f"trial-{trial}")
+        tasks.append(
+            TrialTask(
+                spec_name=spec_name,
+                population_size=n,
+                trial=trial,
+                family=family,
+                configuration_seed=trial_rng.spawn("configuration").seed,
+                scheduler_seed=trial_rng.spawn("scheduler").seed,
+                config=config,
+            )
+        )
+    return tasks
+
+
+def execute_trial(task: TrialTask) -> TrialResult:
+    """Run one trial to its stop predicate (serial path and worker entry point)."""
+    from repro.api.registry import get_spec
+
+    spec = get_spec(task.spec_name)
+    protocol = spec.build_protocol(task.population_size, task.config)
+    population = spec.build_population(task.population_size)
+    initial = spec.build_configuration(
+        task.family, protocol, task.population_size,
+        RandomSource(task.configuration_seed),
+    )
+    simulation = spec.build_simulation(
+        protocol, population, initial, RandomSource(task.scheduler_seed)
+    )
+    predicate = spec.stop_predicate(protocol)
+    started = time.perf_counter()
+    run = simulation.run_until(
+        predicate,
+        max_steps=task.config.max_steps,
+        check_interval=task.config.check_interval,
+    )
+    return TrialResult(
+        trial=task.trial,
+        steps=run.steps,
+        converged=run.satisfied,
+        wall_time=time.perf_counter() - started,
+    )
+
+
+def _pool_context():
+    """Prefer ``fork`` so dynamically registered specs reach the workers.
+
+    Linux only: macOS still offers ``fork`` but CPython switched its default
+    to ``spawn`` there because forked children can abort inside system
+    frameworks — respect the platform default everywhere else.
+    """
+    if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def run_trials(tasks: Sequence[TrialTask],
+               workers: Optional[int] = None) -> List[TrialResult]:
+    """Execute a batch of trials, serially or across worker processes.
+
+    ``workers=None`` (or ``<= 1``) runs in-process; any larger value fans the
+    batch out over a process pool.  Results come back in task order either
+    way, and with identical per-trial step counts (see the module docstring).
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        return [execute_trial(task) for task in tasks]
+    pool_size = min(workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=pool_size,
+                             mp_context=_pool_context()) as pool:
+        return list(pool.map(execute_trial, tasks))

@@ -1,0 +1,422 @@
+"""The :class:`ProtocolSpec` registry: every runnable protocol, declaratively.
+
+Before this module existed, each protocol had a hand-written ``run_*``
+adapter in ``experiments/harness.py`` wiring together the same five
+ingredients: a protocol factory, a population, an initial-configuration
+family, a stop predicate, and (for the oracle baseline) a custom simulation.
+A :class:`ProtocolSpec` names those ingredients once; :func:`run_spec` then
+runs *any* registered protocol with one generic code path, and the CLI's
+``run``/``list`` commands, the fluent :mod:`repro.api.builder`, and the
+parallel :mod:`repro.api.executor` all drive the same registry.
+
+Two kinds of spec exist:
+
+* **simulated** — has a ``factory`` and a ``stop_predicate`` and is executed
+  by the trial runner (``ppl``, ``yokota2021``, ``fischer-jiang``,
+  ``angluin-modk``);
+* **analytic** — has an ``analytic_model`` instead (``chen-chen``, whose
+  super-exponential convergence cannot be simulated, and ``thue-morse``, the
+  certified string substrate underneath it).  ``repro-ssle run`` evaluates
+  the model so every listed spec is runnable.
+
+Registering a new protocol is one :func:`register` call; nothing in the
+harness, CLI, or builder needs editing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.convergence import (
+    ConvergenceResult,
+    default_simulation_factory,
+)
+from repro.api.config import ExperimentConfig
+from repro.api.executor import TrialResult, run_trials, trial_tasks
+from repro.core.configuration import Configuration, random_configuration
+from repro.core.protocol import Protocol
+from repro.core.rng import RandomSource
+from repro.core.simulator import Simulation
+from repro.topology.graph import Population
+from repro.topology.ring import DirectedRing
+
+#: Builds a protocol instance for one population size under one config.
+ProtocolFactory = Callable[[int, ExperimentConfig], Protocol]
+#: Builds an initial configuration: (protocol, n, rng) -> Configuration.
+ConfigurationFamily = Callable[[Protocol, int, RandomSource], Configuration]
+#: Builds the per-protocol stop predicate from a protocol instance.
+PredicateFactory = Callable[[Protocol], Callable[[Sequence], bool]]
+#: Builds a simulation (hook for oracle-augmented executions).
+SimulationFactory = Callable[
+    [Protocol, Population, Configuration, RandomSource], Simulation
+]
+#: Evaluates an analytic (non-simulable) model at one population size.
+AnalyticModel = Callable[[int, ExperimentConfig], Dict[str, object]]
+
+
+def _any_ring(n: int) -> bool:
+    return n >= 2
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything the generic runner needs to know about one protocol."""
+
+    name: str
+    summary: str
+    factory: Optional[ProtocolFactory] = None
+    families: Mapping[str, ConfigurationFamily] = field(default_factory=dict)
+    default_family: str = "adversarial"
+    stop_predicate: Optional[PredicateFactory] = None
+    simulation_factory: SimulationFactory = default_simulation_factory
+    population_factory: Callable[[int], Population] = DirectedRing
+    supports: Callable[[int], bool] = _any_ring
+    supported_note: str = "any ring size n >= 2"
+    #: Prefix of the master RNG label (defaults to ``name``); the harness
+    #: shims override it per call to reproduce the pre-registry streams.
+    rng_label: Optional[str] = None
+    analytic_model: Optional[AnalyticModel] = None
+    reference: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ProtocolSpec.name must be non-empty")
+        if self.analytic_model is None:
+            if self.factory is None or self.stop_predicate is None:
+                raise ValueError(
+                    f"spec {self.name!r} needs a factory and a stop_predicate "
+                    "(or an analytic_model)"
+                )
+            if not self.families:
+                raise ValueError(f"spec {self.name!r} declares no configuration families")
+            if self.default_family not in self.families:
+                raise ValueError(
+                    f"spec {self.name!r}: default family {self.default_family!r} "
+                    f"not in {sorted(self.families)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_simulated(self) -> bool:
+        """True for executable specs; False for analytic models."""
+        return self.analytic_model is None
+
+    @property
+    def kind(self) -> str:
+        return "simulated" if self.is_simulated else "analytic"
+
+    def family_names(self) -> List[str]:
+        return sorted(self.families)
+
+    def require_supported(self, n: int) -> None:
+        if not self.supports(n):
+            raise ValueError(
+                f"protocol {self.name!r} does not support n={n} "
+                f"(requires: {self.supported_note})"
+            )
+
+    def require_family(self, family: str) -> None:
+        if family not in self.families:
+            raise KeyError(
+                f"protocol {self.name!r} has no configuration family {family!r}; "
+                f"known families: {self.family_names()}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Trial ingredients (called by the executor, possibly in a worker)
+    # ------------------------------------------------------------------ #
+    def build_protocol(self, n: int, config: ExperimentConfig) -> Protocol:
+        if self.factory is None:
+            raise ValueError(f"protocol {self.name!r} is analytic and cannot be simulated")
+        self.require_supported(n)
+        return self.factory(n, config)
+
+    def build_population(self, n: int) -> Population:
+        return self.population_factory(n)
+
+    def build_configuration(self, family: str, protocol: Protocol, n: int,
+                            rng: RandomSource) -> Configuration:
+        self.require_family(family)
+        return self.families[family](protocol, n, rng)
+
+    def build_simulation(self, protocol: Protocol, population: Population,
+                         initial: Configuration, rng: RandomSource) -> Simulation:
+        return self.simulation_factory(protocol, population, initial, rng)
+
+
+# ---------------------------------------------------------------------- #
+# The registry
+# ---------------------------------------------------------------------- #
+_REGISTRY: Dict[str, ProtocolSpec] = {}
+
+
+def register(spec: ProtocolSpec, replace: bool = False) -> ProtocolSpec:
+    """Add a spec to the registry; ``replace=False`` rejects duplicates."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"protocol {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (test hygiene; unknown names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """Look up a spec by name, with the known names in the error message."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; registered: {spec_names()}"
+        ) from None
+
+
+def spec_names() -> List[str]:
+    """Registered spec names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_specs() -> List[ProtocolSpec]:
+    """All registered specs, sorted by name."""
+    return [_REGISTRY[name] for name in spec_names()]
+
+
+# ---------------------------------------------------------------------- #
+# The generic runner (replaces the per-protocol run_* adapters)
+# ---------------------------------------------------------------------- #
+def run_spec(
+    name: str,
+    n: int,
+    config: Optional[ExperimentConfig] = None,
+    family: Optional[str] = None,
+    trials: Optional[int] = None,
+    workers: Optional[int] = None,
+    rng_label: Optional[str] = None,
+) -> ConvergenceResult:
+    """Run any registered simulated protocol: the one generic adapter.
+
+    Equivalent to the old hand-written ``run_<protocol>`` functions, for every
+    protocol at once: build the protocol for ``n``, draw each trial's initial
+    configuration from ``family`` (the spec's default when omitted), and run
+    until the spec's stop predicate holds.  ``workers`` > 1 fans the trials
+    out over processes with identical results (see :mod:`repro.api.executor`).
+    """
+    spec = get_spec(name)
+    if not spec.is_simulated:
+        raise ValueError(
+            f"protocol {name!r} is analytic; use evaluate_analytic() instead"
+        )
+    config = config or ExperimentConfig()
+    spec.require_supported(n)
+    chosen_family = family or spec.default_family
+    spec.require_family(chosen_family)  # fail fast, before any fan-out
+    protocol_name = spec.build_protocol(n, config).name
+    tasks = trial_tasks(
+        name, n, config, chosen_family, trials=trials,
+        rng_label=rng_label or spec.rng_label or name,
+    )
+    outcomes = run_trials(tasks, workers=workers)
+    return collect_convergence(protocol_name, n, outcomes)
+
+
+def collect_convergence(protocol_name: str, n: int,
+                        outcomes: Sequence[TrialResult]) -> ConvergenceResult:
+    """Fold per-trial outcomes into the legacy :class:`ConvergenceResult` shape."""
+    result: ConvergenceResult = ConvergenceResult(
+        protocol_name=protocol_name,
+        population_size=n,
+        trials=len(outcomes),
+    )
+    for outcome in outcomes:
+        if outcome.converged:
+            result.steps.append(outcome.steps)
+        else:
+            result.failures += 1
+    return result
+
+
+def runner_for(name: str, family: Optional[str] = None,
+               rng_label: Optional[str] = None):
+    """A ``(n, config) -> ConvergenceResult`` adapter for sweep-style callers."""
+
+    def runner(n: int, config: ExperimentConfig) -> ConvergenceResult:
+        return run_spec(name, n, config, family=family, rng_label=rng_label)
+
+    return runner
+
+
+def evaluate_analytic(name: str, n: int,
+                      config: Optional[ExperimentConfig] = None) -> Dict[str, object]:
+    """Evaluate an analytic spec's model at ``n`` (errors on simulated specs)."""
+    spec = get_spec(name)
+    if spec.is_simulated:
+        raise ValueError(f"protocol {name!r} is simulated; use run_spec() instead")
+    spec.require_supported(n)
+    return dict(spec.analytic_model(n, config or ExperimentConfig()))
+
+
+# ---------------------------------------------------------------------- #
+# Built-in specs
+# ---------------------------------------------------------------------- #
+def _ppl_factory(n: int, config: ExperimentConfig):
+    from repro.protocols.ppl import PPLProtocol
+
+    return PPLProtocol.for_population(n, kappa_factor=config.kappa_factor)
+
+
+def _ppl_safe_predicate(protocol):
+    from repro.protocols.ppl import is_safe
+
+    params = protocol.params
+    return lambda states: is_safe(states, params)
+
+
+def _ppl_families() -> Dict[str, ConfigurationFamily]:
+    from repro.adversary.initial_configs import ADVERSARIES
+
+    def wrap(adversary):
+        return lambda protocol, n, rng: adversary(n, protocol.params, rng)
+
+    families = {name.replace("_", "-"): wrap(fn) for name, fn in ADVERSARIES.items()}
+    # The default adversary of the literature under the builder's names:
+    families["adversarial"] = families["uniform"]
+    families["random"] = families["uniform"]
+    return families
+
+
+def _random_family(protocol: Protocol, n: int, rng: RandomSource) -> Configuration:
+    return random_configuration(protocol, n, rng)
+
+
+def _stable_predicate(protocol):
+    return protocol.is_stable
+
+
+def _yokota_factory(n: int, config: ExperimentConfig):
+    from repro.protocols.baselines.yokota2021 import Yokota2021Protocol
+
+    return Yokota2021Protocol.for_population(n)
+
+
+def _fischer_jiang_factory(n: int, config: ExperimentConfig):
+    from repro.protocols.baselines.fischer_jiang import FischerJiangProtocol
+
+    return FischerJiangProtocol()
+
+
+def _oracle_simulation(protocol, population, initial, rng):
+    from repro.protocols.baselines.fischer_jiang import OracleOmega, OracleSimulation
+
+    return OracleSimulation(
+        protocol, population, initial,
+        oracle=OracleOmega(report_interval=population.size),
+        rng=rng.randint(0, 2 ** 31 - 1),
+    )
+
+
+def _angluin_spec(k: int, name: str) -> ProtocolSpec:
+    from repro.protocols.baselines.angluin_modk import AngluinModKProtocol
+
+    return ProtocolSpec(
+        name=name,
+        summary=f"[5] Angluin et al.: constant-state SS-LE when k={k} does not divide n",
+        factory=lambda n, config: AngluinModKProtocol(k),
+        families={"adversarial": _random_family, "random": _random_family},
+        stop_predicate=_stable_predicate,
+        supports=lambda n: n >= 2 and n % k != 0,
+        supported_note=f"ring sizes n >= 2 with n not divisible by k={k}",
+        rng_label="angluin",
+        reference="[5] Angluin, Aspnes, Fischer, Jiang",
+    )
+
+
+def ensure_angluin_spec(k: int) -> ProtocolSpec:
+    """The mod-``k`` spec, registering a variant on demand for ``k != 2``."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    name = "angluin-modk" if k == 2 else f"angluin-mod{k}"
+    if name in _REGISTRY:
+        return _REGISTRY[name]
+    return register(_angluin_spec(k, name))
+
+
+def _chen_chen_model(n: int, config: ExperimentConfig) -> Dict[str, object]:
+    from repro.protocols.baselines.chen_chen import ChenChenModel, safe_embedding
+    from repro.protocols.baselines.thue_morse import is_cube_free
+
+    model = ChenChenModel()
+    return {
+        "protocol": model.name,
+        "analytic": True,
+        "states": model.state_space_size(),
+        "expected_steps_model": model.expected_steps(n),
+        "safe_embedding_cube_free": is_cube_free(safe_embedding(n)),
+        "note": "super-exponential convergence; model only, not a measurement",
+    }
+
+
+def _thue_morse_model(n: int, config: ExperimentConfig) -> Dict[str, object]:
+    from repro.protocols.baselines.chen_chen import leaderless_embedding_has_cube
+    from repro.protocols.baselines.thue_morse import is_cube_free, thue_morse_prefix
+
+    prefix = thue_morse_prefix(n)
+    return {
+        "protocol": "ThueMorse(substrate)",
+        "analytic": True,
+        "prefix": prefix,
+        "prefix_cube_free": is_cube_free(prefix),
+        "leaderless_ring_has_cube": leaderless_embedding_has_cube(prefix),
+        "note": "string substrate of the Chen-Chen baseline; certified checks",
+    }
+
+
+def _register_builtin_specs() -> None:
+    register(ProtocolSpec(
+        name="ppl",
+        summary="this work: P_PL, polylog(n)-state SS-LE in O(n^2 log n) steps",
+        factory=_ppl_factory,
+        families=_ppl_families(),
+        stop_predicate=_ppl_safe_predicate,
+        rng_label="ppl",
+        reference="PODC 2023 (the reproduced paper)",
+    ))
+    register(ProtocolSpec(
+        name="yokota2021",
+        summary="[28] Yokota et al.: O(n)-state SS-LE baseline in Theta(n^2) steps",
+        factory=_yokota_factory,
+        families={"adversarial": _random_family, "random": _random_family},
+        stop_predicate=_stable_predicate,
+        rng_label="yokota",
+        reference="[28] Yokota, Sudo, Masuzawa",
+    ))
+    register(ProtocolSpec(
+        name="fischer-jiang",
+        summary="[15] Fischer-Jiang: constant-state SS-LE with the eventual leader-detector oracle",
+        factory=_fischer_jiang_factory,
+        families={"adversarial": _random_family, "random": _random_family},
+        stop_predicate=_stable_predicate,
+        simulation_factory=_oracle_simulation,
+        rng_label="fj",
+        reference="[15] Fischer, Jiang",
+    ))
+    register(_angluin_spec(2, "angluin-modk"))
+    register(ProtocolSpec(
+        name="chen-chen",
+        summary="[11] Chen-Chen: constant-state SS-LE, super-exponential time (analytic model)",
+        analytic_model=_chen_chen_model,
+        reference="[11] Chen, Chen",
+    ))
+    register(ProtocolSpec(
+        name="thue-morse",
+        summary="Thue-Morse cube-freeness substrate of [11] (certified analytic checks)",
+        analytic_model=_thue_morse_model,
+        reference="[27] Thue",
+    ))
+
+
+_register_builtin_specs()

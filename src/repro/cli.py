@@ -1,8 +1,12 @@
-"""Command-line interface: run the paper's experiments from a terminal.
+"""Command-line interface: run any registered protocol or paper experiment.
 
-Installed as ``repro-ssle``.  Sub-commands map one-to-one onto the experiment
-modules:
+Installed as ``repro-ssle``.  The CLI is built on argparse subparsers with
+per-command options and is driven by the :mod:`repro.api` registry, so any
+protocol registered there is runnable with no CLI edits:
 
+* ``repro-ssle list``         — enumerate the registered protocol specs
+* ``repro-ssle run <name>``   — run any registered protocol (``--family``,
+  ``--workers`` for parallel trials)
 * ``repro-ssle table1``       — the Table-1 comparison
 * ``repro-ssle scaling``      — the Theorem-3.1 scaling sweep and growth-law fits
 * ``repro-ssle detection``    — leader-absence detection times (Lemma 3.7)
@@ -12,58 +16,137 @@ modules:
 * ``repro-ssle figure2``      — the token trajectory
 * ``repro-ssle demo``         — a single annotated convergence run
 
-All sub-commands accept ``--sizes``, ``--trials``, ``--max-steps``,
-``--kappa-factor`` and ``--seed`` so the sweeps can be scaled up or down.
+Every command accepts ``--format {text,json}``; JSON output is sanitised
+(non-finite floats become ``null``) so the results are machine-consumable.
+Sweep commands additionally accept ``--sizes``, ``--trials``, ``--max-steps``,
+``--kappa-factor``, ``--check-interval`` and ``--seed``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
-from typing import List, Optional, Sequence
+from dataclasses import asdict, is_dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments import (
+from repro.api import (
     ExperimentConfig,
-    detection_report,
-    elimination_report,
-    figure1_report,
-    figure2_report,
-    orientation_report,
-    run_and_render,
-    scaling_report,
+    evaluate_analytic,
+    experiment,
+    get_spec,
+    list_specs,
 )
+from repro.experiments.reporting import format_table
+
+#: Handler result: (rendered text, JSON-ready payload).
+CommandOutput = Tuple[str, Dict[str, object]]
 
 
+class CommandError(Exception):
+    """A user-input problem a handler wants reported as a usage error.
+
+    Only this type is routed to ``parser.error`` — anything else a handler
+    raises is an internal failure and keeps its traceback.
+    """
+
+
+# ---------------------------------------------------------------------- #
+# Argument types
+# ---------------------------------------------------------------------- #
 def _parse_sizes(raw: str) -> List[int]:
+    """Comma-separated ring sizes, validated, deduplicated, and sorted."""
     sizes = [int(part) for part in raw.split(",") if part.strip()]
     if not sizes:
         raise argparse.ArgumentTypeError("at least one ring size is required")
     if any(size < 2 for size in sizes):
         raise argparse.ArgumentTypeError("ring sizes must be >= 2")
-    return sizes
+    return sorted(set(sizes))
 
 
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 1, got {value}")
+    return value
+
+
+def _non_negative_int(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 0, got {value}")
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-ssle",
         description="Reproduction experiments for the PODC 2023 SS-LE ring protocol",
     )
-    parser.add_argument("--sizes", type=_parse_sizes, default=[8, 16, 32],
-                        help="comma-separated ring sizes (default: 8,16,32)")
-    parser.add_argument("--trials", type=int, default=3,
-                        help="independent trials per data point (default: 3)")
-    parser.add_argument("--max-steps", type=int, default=2_000_000,
-                        help="step budget per trial (default: 2,000,000)")
-    parser.add_argument("--kappa-factor", type=int, default=4,
-                        help="the constant c1 in kappa_max = c1*psi (default: 4; paper: 32)")
-    parser.add_argument("--seed", type=int, default=2023, help="master random seed")
-    parser.add_argument(
-        "command",
-        choices=["table1", "scaling", "detection", "elimination", "orientation",
-                 "figure1", "figure2", "demo"],
-        help="which experiment to run",
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="command")
+
+    fmt = argparse.ArgumentParser(add_help=False)
+    fmt.add_argument("--format", choices=("text", "json"), default="text",
+                     help="output format (default: text)")
+
+    sweep = argparse.ArgumentParser(add_help=False)
+    sweep.add_argument("--sizes", type=_parse_sizes, default=[8, 16, 32],
+                       help="comma-separated ring sizes, deduplicated and sorted "
+                            "(default: 8,16,32)")
+    sweep.add_argument("--trials", type=_positive_int, default=3,
+                       help="independent trials per data point (default: 3)")
+    sweep.add_argument("--max-steps", type=_non_negative_int, default=2_000_000,
+                       help="step budget per trial (default: 2,000,000)")
+    sweep.add_argument("--kappa-factor", type=_positive_int, default=4,
+                       help="the constant c1 in kappa_max = c1*psi (default: 4; paper: 32)")
+    sweep.add_argument("--check-interval", type=_positive_int, default=128,
+                       help="steps between stop-predicate checks (default: 128)")
+    sweep.add_argument("--seed", type=int, default=2023, help="master random seed")
+
+    subparsers.add_parser(
+        "list", parents=[fmt],
+        help="enumerate the registered protocol specs",
     )
+
+    run = subparsers.add_parser(
+        "run", parents=[sweep, fmt],
+        help="run any registered protocol (see `repro-ssle list`)",
+    )
+    run.add_argument("protocol", help="a protocol spec name from `repro-ssle list`")
+    run.add_argument("--family", default=None,
+                     help="initial-configuration family (default: the spec's default)")
+    run.add_argument("--workers", type=_positive_int, default=1,
+                     help="processes for parallel trials (default: 1 = serial)")
+
+    subparsers.add_parser("table1", parents=[sweep, fmt],
+                          help="the Table-1 comparison")
+    scaling = subparsers.add_parser("scaling", parents=[sweep, fmt],
+                                    help="the Theorem-3.1 scaling sweep")
+    scaling.add_argument("--leaderless", action="store_true",
+                         help="start P_PL from the leaderless trap instead of "
+                              "uniform adversarial configurations")
+    scaling.add_argument("--no-baseline", action="store_true",
+                         help="skip the [28] baseline head-to-head")
+    subparsers.add_parser("detection", parents=[sweep, fmt],
+                          help="leader-absence detection times (Lemma 3.7)")
+    subparsers.add_parser("elimination", parents=[sweep, fmt],
+                          help="leader elimination times (Lemma 4.11)")
+    subparsers.add_parser("orientation", parents=[sweep, fmt],
+                          help="ring orientation (Theorem 5.2)")
+    subparsers.add_parser("figure1", parents=[sweep, fmt],
+                          help="the segment-ID embedding rendering")
+    figure2 = subparsers.add_parser("figure2", parents=[fmt],
+                                    help="the token trajectory")
+    figure2.add_argument("--psi", type=_positive_int, default=4,
+                         help="the knowledge parameter psi (default: 4)")
+    subparsers.add_parser("demo", parents=[sweep, fmt],
+                          help="a single annotated convergence run "
+                               "(smallest --sizes entry; --trials is ignored)")
     return parser
 
 
@@ -72,49 +155,336 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         sizes=tuple(args.sizes),
         trials=args.trials,
         max_steps=args.max_steps,
+        check_interval=args.check_interval,
         kappa_factor=args.kappa_factor,
         seed=args.seed,
     )
 
 
-def _demo(config: ExperimentConfig) -> str:
-    """One annotated convergence run on the smallest configured ring."""
+# ---------------------------------------------------------------------- #
+# JSON sanitisation
+# ---------------------------------------------------------------------- #
+def _jsonable(value: object) -> object:
+    """Recursively convert a payload to strict JSON (no Infinity/NaN)."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+# ---------------------------------------------------------------------- #
+# Command handlers: each returns (text, payload)
+# ---------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> CommandOutput:
+    specs = list_specs()
+    rows = [
+        {
+            "name": spec.name,
+            "kind": spec.kind,
+            "summary": spec.summary,
+            "supported": spec.supported_note if spec.is_simulated else "analytic model",
+            "default_family": spec.default_family if spec.is_simulated else None,
+            "families": spec.family_names(),
+            "reference": spec.reference,
+        }
+        for spec in specs
+    ]
+    text = format_table(
+        headers=["name", "kind", "supported", "summary"],
+        rows=[(row["name"], row["kind"], row["supported"], row["summary"])
+              for row in rows],
+        title=f"registered protocol specs ({len(rows)})",
+    )
+    return text, {"command": "list", "protocols": rows}
+
+
+def _render_run_result(result) -> str:
+    table = format_table(
+        headers=["trial", "steps", "converged", "wall time (s)"],
+        rows=[(trial.trial, trial.steps, trial.converged, trial.wall_time)
+              for trial in result.trials],
+        title=(f"{result.protocol} on ring n={result.population_size} "
+               f"(family={result.family}, seed={result.seed}, workers={result.workers})"),
+    )
+    mean = result.mean_steps()
+    summary = (f"mean steps = {mean:.1f}" if math.isfinite(mean)
+               else "mean steps = n/a (no trial converged)")
+    return f"{table}\n{summary}, all converged = {result.all_converged}"
+
+
+def _render_analytic(title: str, payload: Dict[str, object]) -> str:
+    lines = [title]
+    for key, value in payload.items():
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> CommandOutput:
+    try:
+        spec = get_spec(args.protocol)
+    except KeyError as error:
+        raise CommandError(error.args[0]) from None
+    config = _config_from_args(args)
+    if not spec.is_simulated:
+        for flag, value, default in (("--family", args.family, None),
+                                     ("--workers", args.workers, 1)):
+            if value != default:
+                raise CommandError(
+                    f"protocol {spec.name!r} is analytic; {flag} does not apply"
+                )
+    else:
+        if args.family is not None:
+            try:
+                spec.require_family(args.family)
+            except KeyError as error:
+                raise CommandError(error.args[0]) from None
+        for n in config.sizes:
+            try:
+                spec.require_supported(n)
+            except ValueError as error:
+                raise CommandError(str(error)) from None
+    sections: List[str] = []
+    results: List[Dict[str, object]] = []
+    for n in config.sizes:
+        if not spec.is_simulated:
+            model = evaluate_analytic(spec.name, n, config)
+            model.update({"spec": spec.name, "population_size": n})
+            results.append(model)
+            sections.append(_render_analytic(f"{spec.name} @ n={n} (analytic model)", model))
+            continue
+        builder = (
+            experiment(spec.name)
+            .on_ring(n)
+            .until_safe()
+            .trials(config.trials)
+            .seed(config.seed)
+            .max_steps(config.max_steps)
+            .check_interval(config.check_interval)
+            .kappa_factor(config.kappa_factor)
+        )
+        if args.family:
+            builder.from_family(args.family)
+        if args.workers > 1:
+            builder.parallel(args.workers)
+        result = builder.run()
+        results.append(result.to_dict())
+        sections.append(_render_run_result(result))
+    payload = {
+        "command": "run",
+        "protocol": spec.name,
+        "kind": spec.kind,
+        "seed": args.seed,
+        "results": results,
+    }
+    return "\n\n".join(sections), payload
+
+
+def _cmd_table1(args: argparse.Namespace) -> CommandOutput:
+    from repro.experiments.table1 import build_table1, render_table1
+
+    config = _config_from_args(args)
+    rows = build_table1(config)
+    payload = {"command": "table1", "rows": [asdict(row) for row in rows]}
+    return render_table1(rows), payload
+
+
+def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
+    from repro.experiments.reporting import ascii_bar_chart
+    from repro.experiments.scaling import (
+        measure_scaling,
+        run_ppl,
+        run_ppl_leaderless,
+        run_yokota,
+    )
+
+    config = _config_from_args(args)
+    if len(config.sizes) < 2:
+        raise CommandError("scaling needs at least two ring sizes to fit growth laws")
+    runner = run_ppl_leaderless if args.leaderless else run_ppl
+    series = [measure_scaling(runner, "P_PL", config)]
+    if not args.no_baseline:
+        series.append(measure_scaling(run_yokota, "Yokota2021", config))
+
+    sections: List[str] = []
+    payload_series: List[Dict[str, object]] = []
+    for entry in series:
+        sections.append(ascii_bar_chart(list(zip(entry.sizes, entry.mean_steps)),
+                                        label=f"{entry.protocol}: mean steps to safety"))
+        sections.append(format_table(
+            headers=["growth law", "coefficient", "relative error"],
+            rows=[(fit.law, fit.coefficient, fit.relative_error) for fit in entry.fits],
+            title=f"{entry.protocol}: growth-law fits (best first)",
+        ))
+        payload_series.append({
+            "protocol": entry.protocol,
+            "sizes": entry.sizes,
+            "mean_steps": entry.mean_steps,
+            "best_fit": entry.best_fit().law,
+            "fits": [asdict(fit) for fit in entry.fits],
+        })
+    payload = {"command": "scaling", "leaderless": args.leaderless,
+               "series": payload_series}
+    return "\n\n".join(sections), payload
+
+
+def _cmd_detection(args: argparse.Namespace) -> CommandOutput:
+    from repro.experiments.detection import measure_detection
+
+    config = _config_from_args(args)
+    rows = (measure_detection(config, hot_clocks=True)
+            + measure_detection(config, hot_clocks=False))
+    text = format_table(
+        headers=["n", "start", "trials", "mean steps to first leader",
+                 "max steps", "all trials converged"],
+        rows=[(row.population_size, row.start, row.trials, row.mean_steps,
+               row.max_steps, row.all_converged) for row in rows],
+        title="E3 — leader-absence detection (Lemma 3.7 / Section 3.2)",
+    )
+    return text, {"command": "detection", "rows": [asdict(row) for row in rows]}
+
+
+def _cmd_elimination(args: argparse.Namespace) -> CommandOutput:
+    from repro.experiments.elimination import measure_elimination
+
+    config = _config_from_args(args)
+    rows = measure_elimination(config, "all") + measure_elimination(config, "half")
+    text = format_table(
+        headers=["n", "initial leaders", "trials", "mean steps to one leader",
+                 "max steps", "all trials converged"],
+        rows=[(row.population_size, row.initial_leaders, row.trials, row.mean_steps,
+               row.max_steps, row.all_converged) for row in rows],
+        title="E4 — leader elimination (Lemma 4.11 / Section 3.4)",
+    )
+    return text, {"command": "elimination", "rows": [asdict(row) for row in rows]}
+
+
+def _cmd_orientation(args: argparse.Namespace) -> CommandOutput:
+    from repro.experiments.orientation import (
+        measure_coloring,
+        measure_orientation,
+        orientation_fits,
+        orientation_report,
+    )
+
+    config = _config_from_args(args)
+    if len(config.sizes) < 2:
+        raise CommandError("orientation needs at least two ring sizes to fit growth laws")
+    if args.format == "text":
+        return orientation_report(config), {}
+    orientation_rows = measure_orientation(config)
+    coloring_rows = measure_coloring(config)
+    fits = orientation_fits(orientation_rows)
+    payload = {
+        "command": "orientation",
+        "orientation": [asdict(row) for row in orientation_rows],
+        "coloring": [asdict(row) for row in coloring_rows],
+        "fits": [asdict(fit) for fit in fits],
+    }
+    return "", payload
+
+
+def _cmd_figure1(args: argparse.Namespace) -> CommandOutput:
+    from repro.experiments.figures import figure1_report, regenerate_figure1
+
+    config = _config_from_args(args)
+    if args.format == "text":
+        return figure1_report(config), {}
+    results = [
+        regenerate_figure1(n, kappa_factor=config.kappa_factor,
+                           max_steps=config.max_steps, seed=config.seed,
+                           check_interval=config.check_interval)
+        for n in config.sizes
+    ]
+    return "", {"command": "figure1", "results": [asdict(result) for result in results]}
+
+
+def _cmd_figure2(args: argparse.Namespace) -> CommandOutput:
+    from repro.experiments.figures import figure2_report, regenerate_figure2
+
+    result = regenerate_figure2(psi=args.psi)
+    payload = dict(asdict(result))
+    payload["matches_definition"] = result.matches_definition
+    payload["command"] = "figure2"
+    return figure2_report(psi=args.psi, result=result), payload
+
+
+def _cmd_demo(args: argparse.Namespace) -> CommandOutput:
     from repro import DirectedRing, PPLProtocol, Simulation
     from repro.protocols.ppl import adversarial_configuration, is_safe, summary
 
+    config = _config_from_args(args)
     n = min(config.sizes)
     protocol = PPLProtocol.for_population(n, kappa_factor=config.kappa_factor)
     ring = DirectedRing(n)
     start = adversarial_configuration(n, protocol.params, rng=config.seed)
     simulation = Simulation(protocol, ring, start, rng=config.seed + 1)
-    lines = [f"demo: {protocol.name} on {ring.name}"]
-    lines.append(f"start: {summary(simulation.states(), protocol.params)}")
+    start_summary = summary(simulation.states(), protocol.params)
     result = simulation.run_until(
         lambda states: is_safe(states, protocol.params),
         max_steps=config.max_steps,
-        check_interval=max(16, n),
+        check_interval=config.check_interval,
     )
-    lines.append(f"converged: {result.satisfied} after {result.steps} steps")
-    lines.append(f"end: {summary(simulation.states(), protocol.params)}")
-    return "\n".join(lines)
+    end_summary = summary(simulation.states(), protocol.params)
+    text = "\n".join([
+        f"demo: {protocol.name} on {ring.name}",
+        f"start: {start_summary}",
+        f"converged: {result.satisfied} after {result.steps} steps",
+        f"end: {end_summary}",
+    ])
+    payload = {
+        "command": "demo",
+        "protocol": protocol.name,
+        "population_size": n,
+        "converged": result.satisfied,
+        "steps": result.steps,
+        "start": start_summary,
+        "end": end_summary,
+    }
+    return text, payload
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+    "scaling": _cmd_scaling,
+    "detection": _cmd_detection,
+    "elimination": _cmd_elimination,
+    "orientation": _cmd_orientation,
+    "figure1": _cmd_figure1,
+    "figure2": _cmd_figure2,
+    "demo": _cmd_demo,
+}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-ssle`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    config = _config_from_args(args)
-    handlers = {
-        "table1": lambda: run_and_render(config),
-        "scaling": lambda: scaling_report(config),
-        "detection": lambda: detection_report(config),
-        "elimination": lambda: elimination_report(config),
-        "orientation": lambda: orientation_report(config),
-        "figure1": lambda: figure1_report(config),
-        "figure2": lambda: figure2_report(),
-        "demo": lambda: _demo(config),
-    }
-    print(handlers[args.command]())
+    try:
+        text, payload = _HANDLERS[args.command](args)
+    except CommandError as error:
+        parser.error(str(error))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+    try:
+        if args.format == "json":
+            print(json.dumps(_jsonable(payload), indent=2, sort_keys=True))
+        else:
+            print(text)
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # The consumer (head, jq -e, ...) closed the pipe early; that is not
+        # an error worth a traceback.  Hand the descriptor a devnull so the
+        # interpreter's shutdown flush stays quiet too.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
     return 0
 
 

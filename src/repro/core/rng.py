@@ -11,6 +11,7 @@ wrapper around :class:`random.Random`, so that
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Sequence, TypeVar
 
@@ -37,12 +38,17 @@ class RandomSource:
 
         Children of the same parent with different labels produce independent
         sequences; the same (seed, label) pair always produces the same child,
-        which keeps multi-component experiments reproducible.
+        which keeps multi-component experiments reproducible.  The derivation
+        uses a stable hash — Python's built-in ``hash()`` of a string is
+        salted per process (``PYTHONHASHSEED``), which would make the "same"
+        seed produce different streams in every new interpreter.
         """
         if self._seed is None:
             return RandomSource(self._random.getrandbits(64))
-        derived = hash((self._seed, label)) & 0xFFFFFFFFFFFFFFFF
-        return RandomSource(derived)
+        digest = hashlib.blake2b(
+            f"{self._seed}\x1f{label}".encode("utf-8"), digest_size=8
+        ).digest()
+        return RandomSource(int.from_bytes(digest, "big"))
 
     # ------------------------------------------------------------------ #
     # Primitives

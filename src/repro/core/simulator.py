@@ -98,8 +98,12 @@ class Simulation(Generic[StateT]):
         return self._metrics
 
     def state_of(self, agent: int) -> StateT:
-        """Current state of one agent."""
-        return self._states[agent % len(self._states)]
+        """Current state of one agent; out-of-range indices raise ``IndexError``."""
+        if not 0 <= agent < len(self._states):
+            raise IndexError(
+                f"agent {agent} out of range for a population of {len(self._states)}"
+            )
+        return self._states[agent]
 
     def states(self) -> List[StateT]:
         """The live (mutable) list of agent states.

@@ -48,7 +48,8 @@ class Figure1Result:
 
 
 def regenerate_figure1(n: int = 15, kappa_factor: int = 4, max_steps: int = 2_000_000,
-                       seed: int = 7) -> Figure1Result:
+                       seed: int = 7,
+                       check_interval: Optional[int] = None) -> Figure1Result:
     """Run the construction phase until the configuration is perfect and render it."""
     protocol = PPLProtocol.for_population(n, kappa_factor=kappa_factor)
     params = protocol.params
@@ -58,7 +59,7 @@ def regenerate_figure1(n: int = 15, kappa_factor: int = 4, max_steps: int = 2_00
     run = simulation.run_until(
         lambda states: is_perfect(states, params),
         max_steps=max_steps,
-        check_interval=max(8, n),
+        check_interval=check_interval if check_interval is not None else max(8, n),
     )
     states = simulation.states()
     return Figure1Result(
@@ -174,9 +175,15 @@ def regenerate_figure2(psi: int = 4, seed: int = 11) -> Figure2Result:
     )
 
 
-def figure2_report(psi: int = 4) -> str:
-    """Text report: the trajectory series and whether it matches Definition 3.4."""
-    result = regenerate_figure2(psi=psi)
+def figure2_report(psi: int = 4,
+                   result: Optional[Figure2Result] = None) -> str:
+    """Text report: the trajectory series and whether it matches Definition 3.4.
+
+    Pass a pre-computed ``result`` to render it without re-running the
+    simulation (the CLI does, to serve text and JSON from one run).
+    """
+    if result is None:
+        result = regenerate_figure2(psi=psi)
     series = format_series(
         f"Figure 2 — black-token position along its trajectory (psi={psi})",
         list(enumerate(result.positions)),

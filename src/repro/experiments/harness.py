@@ -1,13 +1,14 @@
-"""Experiment harness: shared configuration and protocol-runner adapters.
+"""Experiment harness: deprecated shims over :mod:`repro.api`.
 
-Every experiment in this package (Table 1, the scaling figure, detection,
-elimination, orientation) is a sweep of the same primitive: *run protocol X
-on a ring of size n from adversarial starts until its safe-configuration
-predicate holds, several times, and summarise the step counts*.
-:class:`ExperimentConfig` carries the sweep parameters; the ``run_*``
-adapters below wrap each protocol (its parameters, its adversary, its
-predicate, and — for the oracle baseline — its augmented simulation) behind a
-single callable signature so the experiment modules stay declarative.
+Historically this module hand-wired one ``run_*`` adapter per protocol.  The
+:class:`~repro.api.registry.ProtocolSpec` registry now carries each
+protocol's factory, adversary families, stop predicate, and simulation
+factory declaratively, and :func:`repro.api.registry.run_spec` is the one
+generic runner.  The old names are kept here as thin shims (same signatures,
+same random streams, bit-identical results) so existing experiments,
+benchmarks, and notebooks keep working; new code should use
+:func:`repro.api.run_spec` or the fluent :func:`repro.api.experiment`
+builder directly.
 """
 
 from __future__ import annotations
@@ -15,41 +16,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.convergence import ConvergenceResult, measure_convergence
-from repro.core.configuration import random_configuration
-from repro.core.rng import RandomSource
-from repro.protocols.baselines.angluin_modk import AngluinModKProtocol
-from repro.protocols.baselines.fischer_jiang import (
-    FischerJiangProtocol,
-    OracleOmega,
-    OracleSimulation,
-)
-from repro.protocols.baselines.yokota2021 import Yokota2021Protocol
-from repro.protocols.ppl import PPLProtocol, adversarial_configuration, is_safe
-from repro.topology.ring import DirectedRing
+from repro.analysis.convergence import ConvergenceResult
+from repro.api.config import ExperimentConfig
+from repro.api.registry import ensure_angluin_spec, run_spec
 
-
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Sweep parameters shared by the timing experiments.
-
-    ``kappa_factor`` applies to ``P_PL`` only; the paper's constant is 32 but
-    the default here is 4 so that the full sweep finishes in benchmark time —
-    every report states the value used (the constant multiplies only the
-    w.h.p. margin, not the asymptotic shape).
-    """
-
-    sizes: Sequence[int] = (8, 16, 32)
-    trials: int = 3
-    max_steps: int = 2_000_000
-    check_interval: int = 128
-    kappa_factor: int = 4
-    seed: int = 2023
-
-    def rng(self, label: str) -> RandomSource:
-        """A reproducible random stream for one experiment component."""
-        return RandomSource(self.seed).spawn(label)
-
+__all__ = [
+    "ExperimentConfig",
+    "ProtocolRunner",
+    "SweepResult",
+    "run_angluin",
+    "run_fischer_jiang",
+    "run_ppl",
+    "run_ppl_leaderless",
+    "run_yokota",
+    "sweep",
+]
 
 #: A protocol runner: (n, config) -> ConvergenceResult.
 ProtocolRunner = Callable[[int, ExperimentConfig], ConvergenceResult]
@@ -57,97 +38,33 @@ ProtocolRunner = Callable[[int, ExperimentConfig], ConvergenceResult]
 
 def run_ppl(n: int, config: ExperimentConfig) -> ConvergenceResult:
     """``P_PL`` from uniform adversarial starts until ``S_PL`` membership."""
-    protocol = PPLProtocol.for_population(n, kappa_factor=config.kappa_factor)
-    ring = DirectedRing(n)
-    return measure_convergence(
-        protocol,
-        ring,
-        lambda rng: adversarial_configuration(n, protocol.params, rng),
-        lambda states: is_safe(states, protocol.params),
-        trials=config.trials,
-        max_steps=config.max_steps,
-        check_interval=config.check_interval,
-        rng=config.rng(f"ppl-{n}"),
-    )
+    return run_spec("ppl", n, config, family="adversarial")
 
 
 def run_ppl_leaderless(n: int, config: ExperimentConfig) -> ConvergenceResult:
     """``P_PL`` from the leaderless trap (cold clocks) until ``S_PL`` membership."""
-    from repro.protocols.ppl import leaderless_configuration
-
-    protocol = PPLProtocol.for_population(n, kappa_factor=config.kappa_factor)
-    ring = DirectedRing(n)
-    return measure_convergence(
-        protocol,
-        ring,
-        lambda rng: leaderless_configuration(n, protocol.params, detection_mode=False),
-        lambda states: is_safe(states, protocol.params),
-        trials=config.trials,
-        max_steps=config.max_steps,
-        check_interval=config.check_interval,
-        rng=config.rng(f"ppl-leaderless-{n}"),
-    )
+    return run_spec("ppl", n, config, family="leaderless-trap",
+                    rng_label="ppl-leaderless")
 
 
 def run_yokota(n: int, config: ExperimentConfig) -> ConvergenceResult:
     """The [28] baseline from uniform adversarial starts until its stable predicate."""
-    protocol = Yokota2021Protocol.for_population(n)
-    ring = DirectedRing(n)
-    return measure_convergence(
-        protocol,
-        ring,
-        lambda rng: random_configuration(protocol, n, rng),
-        protocol.is_stable,
-        trials=config.trials,
-        max_steps=config.max_steps,
-        check_interval=config.check_interval,
-        rng=config.rng(f"yokota-{n}"),
-    )
+    return run_spec("yokota2021", n, config)
 
 
 def run_fischer_jiang(n: int, config: ExperimentConfig) -> ConvergenceResult:
     """The [15] baseline with an instantaneous oracle (reporting every ``n`` steps)."""
-    protocol = FischerJiangProtocol()
-    ring = DirectedRing(n)
-
-    def simulation_factory(proto, population, initial, rng):
-        return OracleSimulation(
-            proto, population, initial,
-            oracle=OracleOmega(report_interval=population.size),
-            rng=rng.randint(0, 2 ** 31 - 1),
-        )
-
-    return measure_convergence(
-        protocol,
-        ring,
-        lambda rng: random_configuration(protocol, n, rng),
-        protocol.is_stable,
-        trials=config.trials,
-        max_steps=config.max_steps,
-        check_interval=config.check_interval,
-        rng=config.rng(f"fj-{n}"),
-        simulation_factory=simulation_factory,
-    )
+    return run_spec("fischer-jiang", n, config)
 
 
 def run_angluin(n: int, config: ExperimentConfig, k: int = 2) -> ConvergenceResult:
     """The [5] baseline (requires ``k`` not dividing ``n``)."""
-    protocol = AngluinModKProtocol(k)
-    if not protocol.supports_population(n):
+    spec = ensure_angluin_spec(k)
+    if not spec.supports(n):
         raise ValueError(
             f"AngluinModK(k={k}) does not support n={n}; choose n not divisible by {k}"
         )
-    ring = DirectedRing(n)
-    return measure_convergence(
-        protocol,
-        ring,
-        lambda rng: random_configuration(protocol, n, rng),
-        protocol.is_stable,
-        trials=config.trials,
-        max_steps=config.max_steps,
-        check_interval=config.check_interval,
-        rng=config.rng(f"angluin-{n}"),
-    )
+    return run_spec(spec.name, n, config)
 
 
 @dataclass

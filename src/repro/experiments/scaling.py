@@ -15,8 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import ScalingFit, best_growth_law
+from repro.api.config import ExperimentConfig
 from repro.experiments.harness import (
-    ExperimentConfig,
     ProtocolRunner,
     run_ppl,
     run_ppl_leaderless,

@@ -16,14 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.experiments.harness import (
-    ExperimentConfig,
-    run_angluin,
-    run_fischer_jiang,
-    run_ppl,
-    run_yokota,
-    sweep,
-)
+from repro.api.config import ExperimentConfig
+from repro.api.registry import ensure_angluin_spec, run_spec
 from repro.experiments.reporting import format_table
 from repro.protocols.baselines.angluin_modk import AngluinModKProtocol
 from repro.protocols.baselines.chen_chen import ChenChenModel
@@ -56,13 +50,10 @@ def build_table1(config: ExperimentConfig, reference_size: Optional[int] = None,
     n = reference_size or max(config.sizes)
     angluin_n = n if n % angluin_k != 0 else n + 1
 
-    ppl_result = sweep(run_ppl, config, "P_PL", sizes=[n]).results[n]
-    yokota_result = sweep(run_yokota, config, "Yokota2021", sizes=[n]).results[n]
-    fischer_result = sweep(run_fischer_jiang, config, "FischerJiang", sizes=[n]).results[n]
-    angluin_result = sweep(
-        lambda size, cfg: run_angluin(size, cfg, k=angluin_k),
-        config, "AngluinModK", sizes=[angluin_n],
-    ).results[angluin_n]
+    ppl_result = run_spec("ppl", n, config)
+    yokota_result = run_spec("yokota2021", n, config)
+    fischer_result = run_spec("fischer-jiang", n, config)
+    angluin_result = run_spec(ensure_angluin_spec(angluin_k).name, angluin_n, config)
 
     ppl_params = PPLParams.for_population(n, kappa_factor=config.kappa_factor)
     rows = [

@@ -1,0 +1,103 @@
+"""Tests for the fluent ExperimentBuilder and its typed ExperimentResult."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import experiment, run_spec, ExperimentConfig
+
+
+def test_builder_defaults_match_experiment_config():
+    settings = experiment("ppl").describe()
+    assert settings == {
+        "spec": "ppl",
+        "population_size": 16,
+        "family": "adversarial",
+        "trials": ExperimentConfig.trials,
+        "seed": ExperimentConfig.seed,
+        "max_steps": ExperimentConfig.max_steps,
+        "check_interval": ExperimentConfig.check_interval,
+        "kappa_factor": ExperimentConfig.kappa_factor,
+        "workers": 1,
+    }
+
+
+def test_fluent_chain_returns_the_builder_and_updates_settings():
+    builder = (experiment("ppl")
+               .on_ring(8)
+               .from_adversarial()
+               .until_safe()
+               .trials(2)
+               .seed(7)
+               .max_steps(600_000)
+               .check_interval(32)
+               .kappa_factor(4)
+               .serial())
+    settings = builder.describe()
+    assert settings["population_size"] == 8
+    assert settings["trials"] == 2
+    assert settings["seed"] == 7
+    assert settings["workers"] == 1
+
+
+def test_builder_run_produces_typed_result():
+    result = (experiment("ppl")
+              .on_ring(8)
+              .from_adversarial()
+              .until_safe()
+              .trials(2)
+              .seed(7)
+              .max_steps(600_000)
+              .check_interval(32)
+              .run())
+    assert result.spec == "ppl"
+    assert result.population_size == 8
+    assert result.trial_count == 2
+    assert result.all_converged
+    assert all(steps > 0 for steps in result.steps)
+    assert result.converged == [True, True]
+    assert result.wall_time > 0
+    assert result.mean_steps() == sum(result.steps) / 2
+
+
+def test_builder_result_to_dict_is_json_serialisable():
+    result = (experiment("yokota2021").on_ring(8).trials(1).seed(3)
+              .max_steps(600_000).check_interval(32).run())
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert payload["spec"] == "yokota2021"
+    assert payload["trials"][0]["converged"] is True
+
+
+def test_builder_matches_run_spec_bit_for_bit():
+    config = ExperimentConfig(trials=2, max_steps=600_000, check_interval=32,
+                              kappa_factor=4, seed=11)
+    built = (experiment("ppl").on_ring(8).trials(2).seed(11)
+             .max_steps(600_000).check_interval(32).kappa_factor(4).run())
+    reference = run_spec("ppl", 8, config)
+    assert built.steps == reference.steps
+
+
+def test_builder_from_family_selects_the_adversary():
+    result = (experiment("ppl").on_ring(8).from_family("leaderless-trap")
+              .trials(1).seed(5).max_steps(600_000).check_interval(32).run())
+    assert result.family == "leaderless-trap"
+    assert result.all_converged
+
+
+def test_builder_validates_inputs():
+    with pytest.raises(KeyError):
+        experiment("ppl").from_family("no-such-family")
+    with pytest.raises(ValueError):
+        experiment("angluin-modk").on_ring(8)
+    with pytest.raises(ValueError):
+        experiment("ppl").trials(0)
+    with pytest.raises(ValueError):
+        experiment("ppl").max_steps(-1)
+    with pytest.raises(ValueError):
+        experiment("ppl").check_interval(0)
+    with pytest.raises(ValueError):
+        experiment("chen-chen")
+    with pytest.raises(KeyError):
+        experiment("no-such-protocol")

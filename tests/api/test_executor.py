@@ -1,0 +1,82 @@
+"""Determinism and behaviour of the parallel trial executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    execute_trial,
+    experiment,
+    run_spec,
+    run_trials,
+    trial_tasks,
+)
+
+TINY = ExperimentConfig(trials=4, max_steps=600_000, check_interval=32,
+                        kappa_factor=4, seed=42)
+
+
+def test_trial_tasks_derive_independent_per_trial_seeds():
+    tasks = trial_tasks("ppl", 8, TINY, "adversarial")
+    assert [task.trial for task in tasks] == [0, 1, 2, 3]
+    seeds = {(task.configuration_seed, task.scheduler_seed) for task in tasks}
+    assert len(seeds) == 4
+    # Derivation is a pure function of (seed, label): same call, same seeds.
+    assert tasks == trial_tasks("ppl", 8, TINY, "adversarial")
+
+
+def test_trial_tasks_validate_trial_count():
+    with pytest.raises(ValueError):
+        trial_tasks("ppl", 8, TINY, "adversarial", trials=0)
+
+
+def test_parallel_results_equal_serial_results_bit_for_bit():
+    """Acceptance: the executor reproduces serial step counts exactly."""
+    tasks = trial_tasks("ppl", 8, TINY, "adversarial")
+    serial = run_trials(tasks)
+    parallel = run_trials(tasks, workers=2)
+    assert [trial.steps for trial in serial] == [trial.steps for trial in parallel]
+    assert [trial.converged for trial in serial] == [trial.converged for trial in parallel]
+    assert [trial.trial for trial in parallel] == [0, 1, 2, 3]
+
+
+def test_parallel_results_equal_serial_for_the_oracle_baseline():
+    tasks = trial_tasks("fischer-jiang", 8, TINY, "adversarial", rng_label="fj")
+    serial = run_trials(tasks)
+    parallel = run_trials(tasks, workers=2)
+    assert [trial.steps for trial in serial] == [trial.steps for trial in parallel]
+
+
+def test_parallel_builder_matches_serial_builder():
+    def build():
+        return (experiment("ppl").on_ring(8).trials(3).seed(13)
+                .max_steps(600_000).check_interval(32))
+
+    serial = build().serial().run()
+    parallel = build().parallel(2).run()
+    assert serial.steps == parallel.steps
+    assert serial.converged == parallel.converged
+    assert parallel.workers == 2
+
+
+def test_run_spec_parallel_matches_serial():
+    serial = run_spec("yokota2021", 8, TINY)
+    parallel = run_spec("yokota2021", 8, TINY, workers=2)
+    assert serial.steps == parallel.steps
+
+
+def test_execute_trial_reports_wall_time_and_budget_misses():
+    capped = ExperimentConfig(trials=1, max_steps=4, check_interval=1,
+                              kappa_factor=4, seed=1)
+    task = trial_tasks("ppl", 8, capped, "adversarial")[0]
+    outcome = execute_trial(task)
+    assert outcome.converged is False
+    assert outcome.steps == 4
+    assert outcome.wall_time >= 0
+
+
+def test_run_trials_rejects_bad_worker_count():
+    tasks = trial_tasks("ppl", 8, TINY, "adversarial", trials=1)
+    with pytest.raises(ValueError):
+        run_trials(tasks, workers=0)

@@ -1,0 +1,145 @@
+"""Tests for the ProtocolSpec registry and the generic run_spec adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    ProtocolSpec,
+    ensure_angluin_spec,
+    evaluate_analytic,
+    get_spec,
+    list_specs,
+    register,
+    run_spec,
+    runner_for,
+    spec_names,
+    unregister,
+)
+
+TINY = ExperimentConfig(sizes=(8,), trials=1, max_steps=600_000,
+                        check_interval=32, kappa_factor=4, seed=99)
+
+BUILTIN = ["angluin-modk", "chen-chen", "fischer-jiang", "ppl",
+           "thue-morse", "yokota2021"]
+
+
+# ---------------------------------------------------------------------- #
+# Registry contents and lookup
+# ---------------------------------------------------------------------- #
+def test_builtin_specs_are_registered():
+    names = spec_names()
+    for name in BUILTIN:
+        assert name in names
+
+
+def test_get_spec_unknown_name_lists_known_names():
+    with pytest.raises(KeyError, match="registered"):
+        get_spec("no-such-protocol")
+
+
+def test_register_rejects_duplicates():
+    spec = get_spec("ppl")
+    with pytest.raises(ValueError, match="already registered"):
+        register(spec)
+
+
+def test_spec_validation_rejects_incomplete_specs():
+    with pytest.raises(ValueError):
+        ProtocolSpec(name="broken", summary="no factory, no model")
+    with pytest.raises(ValueError):
+        ProtocolSpec(name="", summary="unnamed", analytic_model=lambda n, c: {})
+
+
+def test_register_and_unregister_custom_spec():
+    base = get_spec("yokota2021")
+    custom = ProtocolSpec(
+        name="yokota2021-copy",
+        summary="a registered-at-runtime alias used by this test",
+        factory=base.factory,
+        families=dict(base.families),
+        stop_predicate=base.stop_predicate,
+        rng_label="yokota",
+    )
+    register(custom)
+    try:
+        assert "yokota2021-copy" in spec_names()
+        result = run_spec("yokota2021-copy", 8, TINY)
+        reference = run_spec("yokota2021", 8, TINY)
+        assert result.steps == reference.steps
+    finally:
+        unregister("yokota2021-copy")
+    assert "yokota2021-copy" not in spec_names()
+
+
+# ---------------------------------------------------------------------- #
+# Round-trip: every registered spec runs (or evaluates) at a small size
+# ---------------------------------------------------------------------- #
+def test_every_registered_spec_round_trips():
+    for spec in list_specs():
+        n = next(size for size in range(8, 16)
+                 if not spec.is_simulated or spec.supports(size))
+        if spec.is_simulated:
+            result = run_spec(spec.name, n, TINY)
+            assert result.all_converged, f"{spec.name} did not converge at n={n}"
+            assert result.population_size == n
+        else:
+            model = evaluate_analytic(spec.name, n, TINY)
+            assert model["analytic"] is True
+
+
+def test_run_spec_rejects_analytic_specs():
+    with pytest.raises(ValueError, match="analytic"):
+        run_spec("chen-chen", 8, TINY)
+
+
+def test_evaluate_analytic_rejects_simulated_specs():
+    with pytest.raises(ValueError, match="simulated"):
+        evaluate_analytic("ppl", 8, TINY)
+
+
+def test_run_spec_rejects_unsupported_population():
+    with pytest.raises(ValueError, match="does not support"):
+        run_spec("angluin-modk", 8, TINY)
+
+
+def test_run_spec_rejects_unknown_family():
+    with pytest.raises(KeyError, match="family"):
+        run_spec("ppl", 8, TINY, family="no-such-family")
+
+
+def test_ppl_spec_exposes_the_adversary_catalogue():
+    spec = get_spec("ppl")
+    families = spec.family_names()
+    for family in ("adversarial", "random", "uniform", "leaderless-trap",
+                   "leaderless-hot", "all-leaders", "half-leaders",
+                   "corrupted-safe", "invalid-tokens", "stale-signals"):
+        assert family in families
+
+
+def test_runner_for_matches_run_spec():
+    runner = runner_for("ppl")
+    assert runner(8, TINY).steps == run_spec("ppl", 8, TINY).steps
+
+
+def test_ensure_angluin_spec_registers_variants_on_demand():
+    assert ensure_angluin_spec(2).name == "angluin-modk"
+    spec = ensure_angluin_spec(3)
+    try:
+        assert spec.name == "angluin-mod3"
+        assert spec.supports(8) and not spec.supports(9)
+        assert run_spec("angluin-mod3", 8, TINY).all_converged
+    finally:
+        unregister("angluin-mod3")
+
+
+# ---------------------------------------------------------------------- #
+# Shim equivalence: the legacy harness adapters are bit-identical
+# ---------------------------------------------------------------------- #
+def test_harness_shims_are_bit_identical_to_run_spec():
+    from repro.experiments.harness import run_fischer_jiang, run_ppl, run_yokota
+
+    assert run_ppl(8, TINY).steps == run_spec("ppl", 8, TINY).steps
+    assert run_yokota(8, TINY).steps == run_spec("yokota2021", 8, TINY).steps
+    assert run_fischer_jiang(8, TINY).steps == run_spec("fischer-jiang", 8, TINY).steps

@@ -37,6 +37,17 @@ def test_spawn_labels_are_independent():
     assert [a.randrange(10 ** 6) for _ in range(5)] != [b.randrange(10 ** 6) for _ in range(5)]
 
 
+def test_spawn_is_stable_across_processes():
+    """Child seeds must not depend on the per-process ``PYTHONHASHSEED`` salt.
+
+    The derivation is pinned to a known value: if it ever silently changes
+    (e.g. back to the built-in ``hash()``), every "same seed, same result"
+    guarantee in the CLI and the parallel executor breaks across interpreter
+    restarts.
+    """
+    assert RandomSource(2023).spawn("ppl-8").seed == 987790527367979984
+
+
 def test_spawn_without_seed_still_works():
     parent = RandomSource(None)
     child = parent.spawn("x")

@@ -106,3 +106,15 @@ def test_leader_count_tracks_protocol_output():
     protocol, ring, configuration, _ = make_setup()
     simulation = Simulation(protocol, ring, configuration, rng=7)
     assert simulation.leader_count() == 1
+
+
+def test_state_of_returns_states_and_rejects_out_of_range_agents():
+    protocol, ring, configuration, _ = make_setup(8)
+    simulation = Simulation(protocol, ring, configuration, rng=8)
+    assert simulation.state_of(0) == configuration.states()[0]
+    assert simulation.state_of(7) == configuration.states()[7]
+    # Out-of-range indices must raise instead of silently wrapping modulo n.
+    with pytest.raises(IndexError):
+        simulation.state_of(8)
+    with pytest.raises(IndexError):
+        simulation.state_of(-1)

@@ -1,29 +1,48 @@
-"""Tests for the ``repro-ssle`` command-line interface."""
+"""Tests for the ``repro-ssle`` command-line interface (subparser redesign)."""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.api import spec_names
 from repro.cli import build_parser, main
 
 
+# ---------------------------------------------------------------------- #
+# Parsing
+# ---------------------------------------------------------------------- #
 def test_parser_defaults():
     args = build_parser().parse_args(["demo"])
     assert args.sizes == [8, 16, 32]
     assert args.trials == 3
+    assert args.format == "text"
     assert args.command == "demo"
 
 
-def test_parser_accepts_custom_sizes():
-    args = build_parser().parse_args(["--sizes", "4,6", "table1"])
+def test_parser_accepts_custom_sizes_per_command():
+    args = build_parser().parse_args(["table1", "--sizes", "4,6"])
     assert args.sizes == [4, 6]
+
+
+def test_parser_dedupes_and_sorts_sizes():
+    args = build_parser().parse_args(["run", "ppl", "--sizes", "16,8,8,6"])
+    assert args.sizes == [6, 8, 16]
 
 
 def test_parser_rejects_bad_sizes():
     with pytest.raises(SystemExit):
-        build_parser().parse_args(["--sizes", "1,4", "table1"])
+        build_parser().parse_args(["table1", "--sizes", "1,4"])
     with pytest.raises(SystemExit):
-        build_parser().parse_args(["--sizes", "", "table1"])
+        build_parser().parse_args(["table1", "--sizes", ""])
+
+
+def test_parser_rejects_bad_trials_and_max_steps():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "ppl", "--trials", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "ppl", "--max-steps", "-1"])
 
 
 def test_parser_rejects_unknown_command():
@@ -31,12 +50,134 @@ def test_parser_rejects_unknown_command():
         build_parser().parse_args(["not-a-command"])
 
 
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+# ---------------------------------------------------------------------- #
+# list
+# ---------------------------------------------------------------------- #
+def test_list_text_names_every_registered_spec(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in spec_names():
+        assert name in out
+
+
+def test_list_json_schema(capsys):
+    assert main(["list", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "list"
+    names = [entry["name"] for entry in payload["protocols"]]
+    assert names == spec_names()
+    for entry in payload["protocols"]:
+        assert entry["kind"] in ("simulated", "analytic")
+        assert entry["summary"]
+
+
+# ---------------------------------------------------------------------- #
+# run — the generic registry-driven command
+# ---------------------------------------------------------------------- #
+def test_run_every_listed_protocol_emits_valid_json(capsys):
+    """Acceptance: `run <name>` works for every spec in `list` with JSON output."""
+    from repro.api import get_spec
+
+    for name in spec_names():
+        spec = get_spec(name)
+        n = next(size for size in range(8, 16)
+                 if not spec.is_simulated or spec.supports(size))
+        code = main(["run", name, "--sizes", str(n), "--trials", "1",
+                     "--max-steps", "600000", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["command"] == "run"
+        assert payload["protocol"] == name
+        assert len(payload["results"]) == 1
+        result = payload["results"][0]
+        assert result["population_size"] == n
+        if payload["kind"] == "simulated":
+            assert result["all_converged"] is True
+            assert result["trials"][0]["converged"] is True
+            assert result["trials"][0]["steps"] >= 0
+        else:
+            assert result["analytic"] is True
+
+
+def test_run_json_schema_fields(capsys):
+    assert main(["run", "ppl", "--sizes", "8", "--trials", "2", "--seed", "5",
+                 "--max-steps", "600000", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    result = payload["results"][0]
+    assert set(result) >= {"spec", "protocol", "population_size", "family",
+                           "seed", "max_steps", "workers", "wall_time",
+                           "all_converged", "mean_steps", "trials"}
+    assert result["seed"] == 5
+    assert len(result["trials"]) == 2
+    for trial in result["trials"]:
+        assert set(trial) == {"trial", "steps", "converged", "wall_time"}
+
+
+def test_run_with_family_and_workers(capsys):
+    assert main(["run", "ppl", "--sizes", "8", "--trials", "2",
+                 "--family", "leaderless-trap", "--workers", "2",
+                 "--max-steps", "600000", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    result = payload["results"][0]
+    assert result["family"] == "leaderless-trap"
+    assert result["workers"] == 2
+    assert result["all_converged"] is True
+
+
+def test_run_unknown_protocol_is_a_clean_error():
+    with pytest.raises(SystemExit):
+        main(["run", "no-such-protocol"])
+
+
+def test_run_unsupported_size_is_a_clean_error():
+    with pytest.raises(SystemExit):
+        main(["run", "angluin-modk", "--sizes", "8", "--trials", "1"])
+
+
+def test_run_unknown_family_is_a_clean_error():
+    with pytest.raises(SystemExit):
+        main(["run", "ppl", "--sizes", "8", "--family", "no-such-family"])
+
+
+def test_run_rejects_simulation_flags_on_analytic_specs(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "chen-chen", "--sizes", "8", "--workers", "4"])
+    assert "analytic" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["run", "chen-chen", "--sizes", "8", "--family", "uniform"])
+    assert "--family does not apply" in capsys.readouterr().err
+
+
+def test_scaling_requires_two_sizes(capsys):
+    with pytest.raises(SystemExit):
+        main(["scaling", "--sizes", "8", "--trials", "1"])
+    assert "at least two ring sizes" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# Legacy report commands on the new CLI
+# ---------------------------------------------------------------------- #
 def test_demo_command_runs_end_to_end(capsys):
-    exit_code = main(["--sizes", "8", "--trials", "1", "--max-steps", "600000",
-                      "--seed", "3", "demo"])
+    exit_code = main(["demo", "--sizes", "8", "--trials", "1",
+                      "--max-steps", "600000", "--seed", "3"])
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "converged: True" in captured.out
+
+
+def test_demo_json_output(capsys):
+    exit_code = main(["demo", "--sizes", "8", "--max-steps", "600000",
+                      "--seed", "3", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["command"] == "demo"
+    assert payload["converged"] is True
+    assert payload["steps"] > 0
 
 
 def test_figure2_command_prints_trajectory(capsys):
@@ -46,8 +187,16 @@ def test_figure2_command_prints_trajectory(capsys):
     assert "match = True" in captured.out
 
 
+def test_figure2_json_output(capsys):
+    exit_code = main(["figure2", "--psi", "3", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["matches_definition"] is True
+    assert payload["positions"][0] == 0
+
+
 def test_figure1_command_prints_embedding(capsys):
-    exit_code = main(["--sizes", "8", "--trials", "1", "figure1"])
+    exit_code = main(["figure1", "--sizes", "8", "--trials", "1"])
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "perfect=True" in captured.out
