@@ -29,6 +29,7 @@ from repro.api import (
     run_spec,
 )
 from repro.core import (
+    BatchedSimulation,
     Configuration,
     ConvergenceError,
     RandomSource,
@@ -36,6 +37,8 @@ from repro.core import (
     RunResult,
     SequenceScheduler,
     Simulation,
+    StateEncoder,
+    StateSpaceError,
     UniformRandomScheduler,
 )
 from repro.protocols.ppl import PPLParams, PPLProtocol, PPLState
@@ -44,6 +47,7 @@ from repro.topology import CompleteGraph, DirectedRing, Population, UndirectedRi
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchedSimulation",
     "CompleteGraph",
     "Configuration",
     "ConvergenceError",
@@ -61,6 +65,8 @@ __all__ = [
     "RunResult",
     "SequenceScheduler",
     "Simulation",
+    "StateEncoder",
+    "StateSpaceError",
     "UndirectedRing",
     "UniformRandomScheduler",
     "__version__",

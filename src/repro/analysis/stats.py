@@ -100,20 +100,28 @@ def fit_growth_law(sizes: Sequence[int], values: Sequence[float],
 
     Returns ``(coefficient, relative_error)`` where the relative error is the
     root-mean-square of ``(prediction - value) / value`` — scale-free so fits
-    across different laws are comparable.
+    across different laws are comparable.  Every measurement must be strictly
+    positive: a zero has no defined relative error, and silently dropping it
+    would report an error computed over fewer points than the caller supplied.
     """
     if len(sizes) != len(values) or len(sizes) < 2:
         raise InvalidParameterError("need at least two (size, value) pairs of equal length")
+    for size, value in zip(sizes, values):
+        # `not (value > 0)` rather than `value <= 0`: NaN (e.g. the mean of a
+        # sweep point where nothing converged) must be rejected too.
+        if not value > 0:
+            raise InvalidParameterError(
+                f"growth-law fits need strictly positive measurements; "
+                f"got {value!r} at n={size}"
+            )
     basis = [law(float(size)) for size in sizes]
     numerator = sum(b * v for b, v in zip(basis, values))
     denominator = sum(b * b for b in basis)
     if denominator == 0:
         raise InvalidParameterError("degenerate basis for the growth-law fit")
     coefficient = numerator / denominator
-    squared = [
-        ((coefficient * b - v) / v) ** 2 for b, v in zip(basis, values) if v > 0
-    ]
-    relative_error = math.sqrt(sum(squared) / len(squared)) if squared else float("inf")
+    squared = [((coefficient * b - v) / v) ** 2 for b, v in zip(basis, values)]
+    relative_error = math.sqrt(sum(squared) / len(squared))
     return coefficient, relative_error
 
 

@@ -103,6 +103,7 @@ class ExperimentBuilder:
         self._check_interval: int = ExperimentConfig.check_interval
         self._kappa_factor: int = ExperimentConfig.kappa_factor
         self._workers: int = 1
+        self._engine: str = ExperimentConfig.engine
 
     # ------------------------------------------------------------------ #
     # Fluent setters (each returns the builder)
@@ -164,6 +165,20 @@ class ExperimentBuilder:
         self._kappa_factor = factor
         return self
 
+    def engine(self, mode: str) -> "ExperimentBuilder":
+        """Pick the simulation engine: ``"auto"`` (default), ``"step"``, or
+        ``"batched"``.
+
+        ``"auto"`` compiles the protocol into the batched table-driven engine
+        whenever its state space enumerates and falls back to the step loop
+        otherwise; trial outcomes are bit-identical either way.  Validated
+        against the spec immediately, so e.g. forcing ``"batched"`` on the
+        oracle-backed ``fischer-jiang`` fails here rather than mid-run.
+        """
+        self._spec.resolve_engine(mode)
+        self._engine = mode
+        return self
+
     def parallel(self, workers: Optional[int] = None) -> "ExperimentBuilder":
         """Fan trials out over ``workers`` processes (``None`` = os.cpu_count)."""
         import os
@@ -190,6 +205,7 @@ class ExperimentBuilder:
             check_interval=self._check_interval,
             kappa_factor=self._kappa_factor,
             seed=self._seed,
+            engine=self._engine,
         )
 
     def describe(self) -> Dict[str, object]:
@@ -204,6 +220,7 @@ class ExperimentBuilder:
             "check_interval": self._check_interval,
             "kappa_factor": self._kappa_factor,
             "workers": self._workers,
+            "engine": self._engine,
         }
 
     def run(self) -> ExperimentResult:

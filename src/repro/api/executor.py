@@ -60,6 +60,10 @@ class TrialResult:
     steps: int
     converged: bool
     wall_time: float
+    #: Which engine actually executed the trial ("step" or "batched") —
+    #: observability for the auto engine's enumerate-or-fallback choice.
+    #: Both engines produce identical steps/converged for the same seeds.
+    engine: str = "step"
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -100,8 +104,16 @@ def trial_tasks(
 
 
 def execute_trial(task: TrialTask) -> TrialResult:
-    """Run one trial to its stop predicate (serial path and worker entry point)."""
+    """Run one trial to its stop predicate (serial path and worker entry point).
+
+    The engine comes from ``task.config.engine``: ``"auto"`` compiles the
+    protocol into the batched table-driven engine when its state space
+    enumerates and falls back to the step loop otherwise.  Either way the
+    trial's random streams — and therefore its step count and outcome — are
+    bit-identical (see :meth:`repro.api.registry.ProtocolSpec.build_simulation`).
+    """
     from repro.api.registry import get_spec
+    from repro.core.fast_simulator import BatchedSimulation
 
     spec = get_spec(task.spec_name)
     protocol = spec.build_protocol(task.population_size, task.config)
@@ -110,11 +122,12 @@ def execute_trial(task: TrialTask) -> TrialResult:
         task.family, protocol, task.population_size,
         RandomSource(task.configuration_seed),
     )
+    started = time.perf_counter()
     simulation = spec.build_simulation(
-        protocol, population, initial, RandomSource(task.scheduler_seed)
+        protocol, population, initial, RandomSource(task.scheduler_seed),
+        engine=task.config.engine,
     )
     predicate = spec.stop_predicate(protocol)
-    started = time.perf_counter()
     run = simulation.run_until(
         predicate,
         max_steps=task.config.max_steps,
@@ -125,6 +138,7 @@ def execute_trial(task: TrialTask) -> TrialResult:
         steps=run.steps,
         converged=run.satisfied,
         wall_time=time.perf_counter() - started,
+        engine="batched" if isinstance(simulation, BatchedSimulation) else "step",
     )
 
 

@@ -25,7 +25,7 @@ harness, CLI, or builder needs editing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.convergence import (
@@ -35,6 +35,13 @@ from repro.analysis.convergence import (
 from repro.api.config import ExperimentConfig
 from repro.api.executor import TrialResult, run_trials, trial_tasks
 from repro.core.configuration import Configuration, random_configuration
+from repro.core.encoding import StateEncoder
+from repro.core.errors import StateSpaceError
+from repro.core.fast_simulator import (
+    ENGINES,
+    BatchedSimulation,
+    batched_simulation_factory,
+)
 from repro.core.protocol import Protocol
 from repro.core.rng import RandomSource
 from repro.core.simulator import Simulation
@@ -78,10 +85,21 @@ class ProtocolSpec:
     rng_label: Optional[str] = None
     analytic_model: Optional[AnalyticModel] = None
     reference: str = ""
+    #: Engine policy for this protocol: ``"auto"`` (batched when the state
+    #: space encodes, step loop otherwise), ``"step"`` (the protocol needs
+    #: the step engine — e.g. an oracle-augmented simulation that inspects
+    #: the global configuration every step), or ``"batched"`` (encoding must
+    #: succeed; failure is an error rather than a silent fallback).
+    simulation_mode: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("ProtocolSpec.name must be non-empty")
+        if self.simulation_mode not in ENGINES:
+            raise ValueError(
+                f"spec {self.name!r}: simulation_mode must be one of {ENGINES}, "
+                f"got {self.simulation_mode!r}"
+            )
         if self.analytic_model is None:
             if self.factory is None or self.stop_predicate is None:
                 raise ValueError(
@@ -142,9 +160,59 @@ class ProtocolSpec:
         self.require_family(family)
         return self.families[family](protocol, n, rng)
 
+    @property
+    def requires_step_engine(self) -> bool:
+        """True when this spec cannot run on the batched engine at all.
+
+        Either the spec says so explicitly (``simulation_mode="step"``) or it
+        installs a custom simulation factory (e.g. the oracle-augmented
+        Fischer-Jiang simulation) whose per-step behaviour a transition table
+        cannot reproduce.
+        """
+        return (self.simulation_mode == "step"
+                or self.simulation_factory is not default_simulation_factory)
+
+    def resolve_engine(self, engine: str = "auto") -> str:
+        """Combine a requested engine with this spec's policy.
+
+        An explicit ``"step"`` request always wins; ``"auto"`` defers to the
+        spec's ``simulation_mode``; ``"batched"`` is rejected for specs that
+        require the step engine (running them through a table would silently
+        change their semantics, not just their speed).
+        """
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        mode = self.simulation_mode if engine == "auto" else engine
+        if self.requires_step_engine:
+            if mode == "batched":
+                raise ValueError(
+                    f"protocol {self.name!r} requires the step engine "
+                    "(custom simulation semantics); --engine batched does not apply"
+                )
+            return "step"
+        return mode
+
     def build_simulation(self, protocol: Protocol, population: Population,
-                         initial: Configuration, rng: RandomSource) -> Simulation:
-        return self.simulation_factory(protocol, population, initial, rng)
+                         initial: Configuration, rng: RandomSource,
+                         engine: str = "auto") -> "Simulation | BatchedSimulation":
+        """Build the simulation for one trial on the resolved engine.
+
+        The encoder is built *before* any draw is taken from ``rng``, and
+        both engine factories consume exactly one ``rng.randint`` in the same
+        position, so the random streams — and therefore every trial result —
+        are bit-identical whichever engine ends up running.
+        """
+        mode = self.resolve_engine(engine)
+        if mode == "step":
+            return self.simulation_factory(protocol, population, initial, rng)
+        if mode == "batched":
+            encoder = StateEncoder.build(protocol, initial.states())
+        else:  # auto: enumerate-or-fallback
+            encoder = StateEncoder.try_build(protocol, initial.states())
+            if encoder is None:
+                return self.simulation_factory(protocol, population, initial, rng)
+        return batched_simulation_factory(protocol, population, initial, rng,
+                                          encoder=encoder)
 
 
 # ---------------------------------------------------------------------- #
@@ -197,6 +265,7 @@ def run_spec(
     trials: Optional[int] = None,
     workers: Optional[int] = None,
     rng_label: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> ConvergenceResult:
     """Run any registered simulated protocol: the one generic adapter.
 
@@ -205,6 +274,9 @@ def run_spec(
     configuration from ``family`` (the spec's default when omitted), and run
     until the spec's stop predicate holds.  ``workers`` > 1 fans the trials
     out over processes with identical results (see :mod:`repro.api.executor`).
+    ``engine`` overrides ``config.engine`` (default ``"auto"``: the batched
+    table-driven engine whenever the protocol encodes, the step loop
+    otherwise — trial outcomes are bit-identical either way).
     """
     spec = get_spec(name)
     if not spec.is_simulated:
@@ -212,6 +284,9 @@ def run_spec(
             f"protocol {name!r} is analytic; use evaluate_analytic() instead"
         )
     config = config or ExperimentConfig()
+    if engine is not None:
+        config = replace(config, engine=engine)
+    spec.resolve_engine(config.engine)  # fail fast, before any fan-out
     spec.require_supported(n)
     chosen_family = family or spec.default_family
     spec.require_family(chosen_family)  # fail fast, before any fan-out
@@ -401,6 +476,10 @@ def _register_builtin_specs() -> None:
         families={"adversarial": _random_family, "random": _random_family},
         stop_predicate=_stable_predicate,
         simulation_factory=_oracle_simulation,
+        # The oracle inspects the global configuration every step — semantics
+        # a pairwise transition table cannot express, so the batched engine
+        # never applies (the raw protocol still encodes; see the benchmark).
+        simulation_mode="step",
         rng_label="fj",
         reference="[15] Fischer, Jiang",
     ))

@@ -38,6 +38,8 @@ from repro.api import (
     get_spec,
     list_specs,
 )
+from repro.core.errors import StateSpaceError
+from repro.core.fast_simulator import ENGINES
 from repro.experiments.reporting import format_table
 
 #: Handler result: (rendered text, JSON-ready payload).
@@ -107,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--check-interval", type=_positive_int, default=128,
                        help="steps between stop-predicate checks (default: 128)")
     sweep.add_argument("--seed", type=int, default=2023, help="master random seed")
+    sweep.add_argument("--engine", choices=ENGINES, default="auto",
+                       help="simulation engine: auto compiles small-state protocols "
+                            "into the batched table-driven engine and falls back to "
+                            "the step loop when the state space is too large to "
+                            "enumerate; results are bit-identical either way "
+                            "(default: auto)")
 
     subparsers.add_parser(
         "list", parents=[fmt],
@@ -150,6 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _require_auto_engine(args: argparse.Namespace) -> None:
+    """Reject ``--engine`` on commands that drive bespoke simulations.
+
+    The detection/elimination/orientation/figure/demo experiments construct
+    their own step-engine simulations (trajectories, custom stop conditions);
+    silently ignoring an explicit engine choice there would misreport what
+    actually ran.
+    """
+    if args.engine != "auto":
+        raise CommandError(
+            f"{args.command!r} drives bespoke step-engine simulations; "
+            "--engine does not apply (supported by: run, table1, scaling)"
+        )
+
+
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         sizes=tuple(args.sizes),
@@ -158,6 +181,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         check_interval=args.check_interval,
         kappa_factor=args.kappa_factor,
         seed=args.seed,
+        engine=args.engine,
     )
 
 
@@ -205,8 +229,8 @@ def _cmd_list(args: argparse.Namespace) -> CommandOutput:
 
 def _render_run_result(result) -> str:
     table = format_table(
-        headers=["trial", "steps", "converged", "wall time (s)"],
-        rows=[(trial.trial, trial.steps, trial.converged, trial.wall_time)
+        headers=["trial", "steps", "converged", "engine", "wall time (s)"],
+        rows=[(trial.trial, trial.steps, trial.converged, trial.engine, trial.wall_time)
               for trial in result.trials],
         title=(f"{result.protocol} on ring n={result.population_size} "
                f"(family={result.family}, seed={result.seed}, workers={result.workers})"),
@@ -232,7 +256,8 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
     config = _config_from_args(args)
     if not spec.is_simulated:
         for flag, value, default in (("--family", args.family, None),
-                                     ("--workers", args.workers, 1)):
+                                     ("--workers", args.workers, 1),
+                                     ("--engine", args.engine, "auto")):
             if value != default:
                 raise CommandError(
                     f"protocol {spec.name!r} is analytic; {flag} does not apply"
@@ -243,6 +268,10 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
                 spec.require_family(args.family)
             except KeyError as error:
                 raise CommandError(error.args[0]) from None
+        try:
+            spec.resolve_engine(args.engine)
+        except ValueError as error:
+            raise CommandError(str(error)) from None
         for n in config.sizes:
             try:
                 spec.require_supported(n)
@@ -266,6 +295,7 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
             .max_steps(config.max_steps)
             .check_interval(config.check_interval)
             .kappa_factor(config.kappa_factor)
+            .engine(config.engine)
         )
         if args.family:
             builder.from_family(args.family)
@@ -333,6 +363,7 @@ def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
 
 
 def _cmd_detection(args: argparse.Namespace) -> CommandOutput:
+    _require_auto_engine(args)
     from repro.experiments.detection import measure_detection
 
     config = _config_from_args(args)
@@ -349,6 +380,7 @@ def _cmd_detection(args: argparse.Namespace) -> CommandOutput:
 
 
 def _cmd_elimination(args: argparse.Namespace) -> CommandOutput:
+    _require_auto_engine(args)
     from repro.experiments.elimination import measure_elimination
 
     config = _config_from_args(args)
@@ -364,6 +396,7 @@ def _cmd_elimination(args: argparse.Namespace) -> CommandOutput:
 
 
 def _cmd_orientation(args: argparse.Namespace) -> CommandOutput:
+    _require_auto_engine(args)
     from repro.experiments.orientation import (
         measure_coloring,
         measure_orientation,
@@ -389,6 +422,7 @@ def _cmd_orientation(args: argparse.Namespace) -> CommandOutput:
 
 
 def _cmd_figure1(args: argparse.Namespace) -> CommandOutput:
+    _require_auto_engine(args)
     from repro.experiments.figures import figure1_report, regenerate_figure1
 
     config = _config_from_args(args)
@@ -414,6 +448,7 @@ def _cmd_figure2(args: argparse.Namespace) -> CommandOutput:
 
 
 def _cmd_demo(args: argparse.Namespace) -> CommandOutput:
+    _require_auto_engine(args)
     from repro import DirectedRing, PPLProtocol, Simulation
     from repro.protocols.ppl import adversarial_configuration, is_safe, summary
 
@@ -470,6 +505,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, payload = _HANDLERS[args.command](args)
     except CommandError as error:
         parser.error(str(error))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+    except StateSpaceError as error:
+        # Only reachable with --engine batched forced onto a protocol whose
+        # state space cannot be enumerated: a usage problem, not a crash.
+        parser.error(f"{error} (drop --engine batched to use the fallback)")
         return 2  # pragma: no cover - parser.error raises SystemExit
     try:
         if args.format == "json":

@@ -6,6 +6,7 @@ from repro.core.configuration import (
     random_configuration,
     uniform_configuration,
 )
+from repro.core.encoding import DEFAULT_MAX_STATES, StateEncoder
 from repro.core.errors import (
     ConvergenceError,
     InvalidConfigurationError,
@@ -13,7 +14,13 @@ from repro.core.errors import (
     InvalidStateError,
     ReproError,
     ScheduleExhaustedError,
+    StateSpaceError,
     TopologyError,
+)
+from repro.core.fast_simulator import (
+    ENGINES,
+    BatchedSimulation,
+    batched_simulation_factory,
 )
 from repro.core.metrics import LeaderTrajectory, StepMetrics
 from repro.core.protocol import (
@@ -40,8 +47,11 @@ from repro.core.scheduler import (
 from repro.core.simulator import RunResult, Simulation
 
 __all__ = [
+    "BatchedSimulation",
     "Configuration",
     "ConvergenceError",
+    "DEFAULT_MAX_STATES",
+    "ENGINES",
     "ExecutionTrace",
     "FieldWatcher",
     "FOLLOWER_OUTPUT",
@@ -61,10 +71,13 @@ __all__ = [
     "Scheduler",
     "SequenceScheduler",
     "Simulation",
+    "StateEncoder",
+    "StateSpaceError",
     "StepMetrics",
     "TopologyError",
     "TraceRecorder",
     "UniformRandomScheduler",
+    "batched_simulation_factory",
     "concat",
     "configuration_from_factory",
     "ensure_source",

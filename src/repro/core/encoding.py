@@ -1,0 +1,270 @@
+"""State-space encoding: compile a protocol into an integer transition table.
+
+The step-by-step :class:`~repro.core.simulator.Simulation` pays one Python
+call to ``protocol.transition`` — building two fresh state objects, comparing
+them for equality, and touching several attributes — for **every** scheduled
+interaction.  The convergence experiments execute millions of interactions
+per trial, so that call is the hot path of the whole repository.
+
+For protocols with a small state space the work per interaction is wildly
+redundant: there are only ``|Q|^2`` distinct interactions.  A
+:class:`StateEncoder` enumerates the reachable state space once (closure of
+the seed states under the transition function), assigns each state an integer
+code, and compiles the transition function into dense flat tables indexed by
+``initiator_code * |Q| + responder_code``.  The batched engine
+(:mod:`repro.core.fast_simulator`) then replays interactions with a couple of
+list lookups per step instead of a protocol call.
+
+The enumerate-or-fallback contract
+----------------------------------
+``StateEncoder.build`` either returns a *complete* table — every state
+reachable from the seeds is encoded, so a simulation driven by the table can
+never step outside it — or raises :class:`StateSpaceError`:
+
+* immediately, when the protocol's declared ``state_space_size()`` bound
+  already exceeds ``max_states`` (no enumeration work is wasted on protocols
+  like ``P_PL`` whose state space is super-polylogarithmic in practice);
+* during enumeration, when the closure grows past ``max_states``.
+
+Callers that want the fallback rather than the error use
+:meth:`StateEncoder.try_build` and drop to the step engine on ``None``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.errors import InvalidParameterError, InvalidStateError, StateSpaceError
+from repro.core.protocol import Protocol
+
+StateT = TypeVar("StateT")
+
+#: Enumeration cap: |Q| states means |Q|^2 compiled transitions, so the cap
+#: bounds table build time (~|Q|^2 protocol calls) and memory (4 flat lists of
+#: |Q|^2 ints).  512 states -> at most ~262k transition calls, well under a
+#: second, amortized over the millions of steps a trial then executes.
+DEFAULT_MAX_STATES = 512
+
+
+def _state_key(state: object) -> Hashable:
+    """A hashable identity for ``state`` consistent with its ``__eq__``.
+
+    Hashable states are used directly.  The mutable dataclass states of this
+    package (``__slots__``, ``eq=True``) are unhashable, so they are keyed by
+    ``(type, astuple)`` — identical to dataclass equality, which is what the
+    step engine's ``changed`` comparison uses.
+    """
+    try:
+        hash(state)
+    except TypeError:
+        if dataclasses.is_dataclass(state):
+            return (type(state), dataclasses.astuple(state))
+        raise StateSpaceError(
+            f"state {state!r} is neither hashable nor a dataclass; "
+            "the encoder cannot key it"
+        ) from None
+    return state
+
+
+class StateEncoder(Generic[StateT]):
+    """Integer codes plus a compiled transition table for one protocol.
+
+    Instances are immutable after :meth:`build` and shared safely between
+    simulations of the same protocol whose initial states are covered.
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol[StateT],
+        states: List[StateT],
+        index: Dict[Hashable, int],
+        initiator_out: List[int],
+        responder_out: List[int],
+    ) -> None:
+        self._protocol = protocol
+        self._states = states
+        self._index = index
+        self._initiator_out = initiator_out
+        self._responder_out = responder_out
+        self._leader_flags = [protocol.is_leader(state) for state in states]
+        width = len(states)
+        self._changed = [
+            initiator_out[qq] != qq // width or responder_out[qq] != qq % width
+            for qq in range(width * width)
+        ]
+        flags = self._leader_flags
+        self._leader_delta = [
+            flags[initiator_out[qq]] + flags[responder_out[qq]]
+            - flags[qq // width] - flags[qq % width]
+            for qq in range(width * width)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        protocol: Protocol[StateT],
+        seeds: Sequence[StateT] = (),
+        max_states: int = DEFAULT_MAX_STATES,
+        use_declared_bound: bool = True,
+    ) -> "StateEncoder[StateT]":
+        """Enumerate the closure of ``seeds`` under ``protocol.transition``.
+
+        ``seeds`` defaults to ``protocol.canonical_states()`` when empty.
+        Raises :class:`StateSpaceError` when the state space cannot be
+        enumerated within ``max_states`` (see the module docstring for the
+        contract); ``use_declared_bound=False`` skips the fast pre-check
+        against ``protocol.state_space_size()`` and always attempts the
+        enumeration, for protocols whose declared bound is very loose.
+        """
+        if max_states < 1:
+            raise InvalidParameterError(f"max_states must be >= 1, got {max_states}")
+        if use_declared_bound:
+            try:
+                bound = protocol.state_space_size()
+            except NotImplementedError:
+                bound = None
+            if bound is not None and bound > max_states:
+                raise StateSpaceError(
+                    f"{protocol.name} declares up to {bound} states per agent, "
+                    f"over the enumeration cap of {max_states}"
+                )
+        seed_states = list(seeds) if seeds else list(protocol.canonical_states())
+        if not seed_states:
+            raise InvalidParameterError(
+                f"{protocol.name}: no seed states to enumerate from "
+                "(pass the initial configuration's states)"
+            )
+
+        states: List[StateT] = []
+        index: Dict[Hashable, int] = {}
+
+        def intern(state: StateT) -> int:
+            key = _state_key(state)
+            code = index.get(key)
+            if code is not None:
+                return code
+            if len(states) >= max_states:
+                raise StateSpaceError(
+                    f"{protocol.name}: reachable state space exceeds the "
+                    f"enumeration cap of {max_states}"
+                )
+            code = len(states)
+            index[key] = code
+            states.append(state)
+            return code
+
+        for state in seed_states:
+            intern(state)
+
+        # Closure: compile every (initiator, responder) code pair, interning
+        # newly discovered successor states; repeat until a full pass adds
+        # nothing.  ``pairs`` keeps already-compiled entries across passes so
+        # each pair's transition runs exactly once.
+        pairs: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        while True:
+            size = len(states)
+            for ci in range(size):
+                for cr in range(size):
+                    if (ci, cr) in pairs:
+                        continue
+                    after_i, after_r = protocol.transition(states[ci], states[cr])
+                    pairs[(ci, cr)] = (intern(after_i), intern(after_r))
+            if len(states) == size:
+                break
+
+        width = len(states)
+        initiator_out = [0] * (width * width)
+        responder_out = [0] * (width * width)
+        for (ci, cr), (ni, nr) in pairs.items():
+            qq = ci * width + cr
+            initiator_out[qq] = ni
+            responder_out[qq] = nr
+        return cls(protocol, states, index, initiator_out, responder_out)
+
+    @classmethod
+    def try_build(
+        cls,
+        protocol: Protocol[StateT],
+        seeds: Sequence[StateT] = (),
+        max_states: int = DEFAULT_MAX_STATES,
+        use_declared_bound: bool = True,
+    ) -> "Optional[StateEncoder[StateT]]":
+        """Like :meth:`build`, but returns ``None`` instead of raising
+        :class:`StateSpaceError` — the engine-selection spelling of the
+        enumerate-or-fallback contract."""
+        try:
+            return cls.build(protocol, seeds, max_states=max_states,
+                             use_declared_bound=use_declared_bound)
+        except StateSpaceError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Codes
+    # ------------------------------------------------------------------ #
+    @property
+    def protocol(self) -> Protocol[StateT]:
+        """The protocol this table was compiled from."""
+        return self._protocol
+
+    @property
+    def num_states(self) -> int:
+        """``|Q|``: number of enumerated (reachable) states."""
+        return len(self._states)
+
+    def encode(self, state: StateT) -> int:
+        """Integer code of ``state``; unknown states raise :class:`InvalidStateError`."""
+        code = self._index.get(_state_key(state))
+        if code is None:
+            raise InvalidStateError(
+                f"state {state!r} is outside the enumerated state space of "
+                f"{self._protocol.name} ({self.num_states} states)"
+            )
+        return code
+
+    def encode_all(self, states: Iterable[StateT]) -> List[int]:
+        """Codes for a whole configuration, in agent order."""
+        return [self.encode(state) for state in states]
+
+    def decode(self, code: int) -> StateT:
+        """A state equal to the one ``code`` stands for (fresh copy if mutable)."""
+        state = self._states[code]
+        copy = getattr(state, "copy", None)
+        return copy() if copy is not None else state
+
+    def decode_all(self, codes: Iterable[int]) -> List[StateT]:
+        """Fresh-copy decoding of a whole configuration, in agent order."""
+        return [self.decode(code) for code in codes]
+
+    def decode_view(self, codes: Iterable[int]) -> List[StateT]:
+        """Zero-copy decoding: representative objects, possibly aliased.
+
+        Agents in equal states share one object, so callers must treat the
+        result as read-only.  Used for predicate evaluation on the hot path.
+        """
+        states = self._states
+        return [states[code] for code in codes]
+
+    # ------------------------------------------------------------------ #
+    # Compiled tables (consumed by the batched engine)
+    # ------------------------------------------------------------------ #
+    def tables(self) -> Tuple[List[int], List[int], List[bool], List[int]]:
+        """``(initiator_out, responder_out, changed, leader_delta)``, each a
+        flat list indexed by ``initiator_code * num_states + responder_code``.
+
+        ``changed[qq]`` is exactly the step engine's "did some state change"
+        comparison; ``leader_delta[qq]`` is the net change in the number of
+        leader outputs, enabling O(1) incremental leader counts.
+        """
+        return self._initiator_out, self._responder_out, self._changed, self._leader_delta
+
+    def leader_flags(self) -> List[bool]:
+        """Per-code leader output, indexed by state code."""
+        return self._leader_flags
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<StateEncoder protocol={self._protocol.name!r} "
+                f"states={self.num_states}>")

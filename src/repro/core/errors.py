@@ -54,6 +54,17 @@ class ConvergenceError(ReproError, RuntimeError):
         self.steps = steps
 
 
+class StateSpaceError(ReproError, RuntimeError):
+    """A protocol's state space cannot be enumerated into a transition table.
+
+    Raised by :class:`repro.core.encoding.StateEncoder` when the reachable
+    state space exceeds the enumeration cap (or the protocol's declared
+    ``state_space_size`` bound already does).  The batched engine treats this
+    as "fall back to the step-by-step simulator", so the error is a routine
+    control signal for large-state protocols such as ``P_PL``.
+    """
+
+
 class TopologyError(ReproError, ValueError):
     """A population graph does not satisfy the requirements of a protocol.
 

@@ -1,0 +1,348 @@
+"""The batched simulation engine: table-driven stepping over integer codes.
+
+:class:`BatchedSimulation` is a drop-in replacement for
+:class:`~repro.core.simulator.Simulation` for protocols whose state space a
+:class:`~repro.core.encoding.StateEncoder` can enumerate.  Instead of one
+``protocol.transition`` Python call, two state writes, and an observer loop
+per interaction, it
+
+* draws scheduler arcs in blocks (one ``randrange`` per step, the same draws
+  in the same order as :class:`~repro.core.scheduler.UniformRandomScheduler`,
+  so random streams are bit-identical across engines),
+* applies each interaction with two list lookups through the compiled
+  transition table over an integer state array, and
+* tracks ``steps`` / ``effective_steps`` / per-agent interaction counts /
+  the leader count incrementally, so metrics cost O(1) per step and
+  ``leader_count()`` is O(1) instead of an O(n) scan.
+
+Equivalence contract
+--------------------
+Driven by the same arc stream (an explicit
+:class:`~repro.core.scheduler.SequenceScheduler`, or the internal random
+draws from the same seed), a :class:`BatchedSimulation` produces
+**bit-identical** final configurations, step counts, effective-step counts,
+and per-agent interaction counts to :class:`Simulation` — the cross-check
+suite in ``tests/core/test_fast_simulator.py`` asserts this for every
+registered protocol spec.  What it does *not* support are per-interaction
+observers (there is deliberately no per-step callback on the hot path); use
+the step engine when a :class:`~repro.core.recorder.TraceRecorder` or
+:class:`~repro.core.recorder.FieldWatcher` is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, Optional, TypeVar
+
+from repro.core.configuration import Configuration
+from repro.core.encoding import DEFAULT_MAX_STATES, StateEncoder
+from repro.core.errors import (
+    InvalidConfigurationError,
+    InvalidParameterError,
+    ScheduleExhaustedError,
+)
+from repro.core.metrics import StepMetrics
+from repro.core.protocol import Protocol
+from repro.core.rng import RandomSource, ensure_source
+from repro.core.scheduler import Scheduler
+from repro.core.simulator import RunResult, StatePredicate
+from repro.topology.graph import Population
+
+StateT = TypeVar("StateT")
+
+#: The engine names understood across the stack (config, registry, CLI).
+ENGINES = ("auto", "step", "batched")
+
+#: Upper bound on one internal block: bounds the arc-draw buffer (a list of
+#: ints) regardless of how many steps a single run()/run_until() burst asks for.
+_MAX_BLOCK = 65_536
+
+
+class BatchedSimulation(Generic[StateT]):
+    """Executes one protocol on one population through a compiled table.
+
+    Parameters mirror :class:`~repro.core.simulator.Simulation`: pass either
+    a ``scheduler`` (any :class:`Scheduler`, e.g. a ``SequenceScheduler`` for
+    replay/cross-checks) or an ``rng`` seed/source for the built-in uniformly
+    random drawing.  ``encoder`` may be shared across simulations; when
+    omitted, one is built from the initial configuration's states (raising
+    :class:`~repro.core.errors.StateSpaceError` when the protocol cannot be
+    enumerated — the caller is expected to fall back to the step engine).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol[StateT],
+        population: Population,
+        initial: Configuration[StateT],
+        scheduler: Optional[Scheduler] = None,
+        rng: "RandomSource | int | None" = None,
+        encoder: "StateEncoder[StateT] | None" = None,
+        max_states: int = DEFAULT_MAX_STATES,
+    ) -> None:
+        if len(initial) != population.size:
+            raise InvalidConfigurationError(
+                f"configuration has {len(initial)} agents but the population has "
+                f"{population.size}"
+            )
+        self._protocol = protocol
+        self._population = population
+        self._encoder = encoder if encoder is not None else StateEncoder.build(
+            protocol, initial.states(), max_states=max_states
+        )
+        self._codes: List[int] = self._encoder.encode_all(initial.states())
+        self._scheduler = scheduler
+        self._rng = None if scheduler is not None else ensure_source(rng)
+        self._num_arcs = population.num_arcs
+        # Index an arc list only when the population already has one; lazy
+        # populations (large complete graphs) stay allocation-free via the
+        # closed-form arc_by_index path.
+        self._arc_list = population.arcs if population.has_materialized_arcs else None
+        tables = self._encoder.tables()
+        self._initiator_out, self._responder_out, self._changed, self._leader_delta = tables
+        self._width = self._encoder.num_states
+        leader_flags = self._encoder.leader_flags()
+        self._leaders = sum(leader_flags[code] for code in self._codes)
+        self._total_steps = 0
+        self._effective_steps = 0
+        self._interactions = [0] * population.size
+
+    # ------------------------------------------------------------------ #
+    # Accessors (mirroring Simulation)
+    # ------------------------------------------------------------------ #
+    @property
+    def protocol(self) -> Protocol[StateT]:
+        """The protocol being executed."""
+        return self._protocol
+
+    @property
+    def population(self) -> Population:
+        """The population graph."""
+        return self._population
+
+    @property
+    def encoder(self) -> StateEncoder[StateT]:
+        """The compiled state encoder driving this simulation."""
+        return self._encoder
+
+    @property
+    def steps(self) -> int:
+        """Total number of steps executed so far."""
+        return self._total_steps
+
+    @property
+    def effective_steps(self) -> int:
+        """Steps in which the transition actually changed some state."""
+        return self._effective_steps
+
+    @property
+    def metrics(self) -> StepMetrics:
+        """Step metrics, materialized from the incremental counters.
+
+        Unlike :class:`Simulation`, the returned object is a snapshot (the
+        counters live in flat arrays on the hot path); its contents equal the
+        step engine's metrics for the same arc stream.
+        """
+        per_agent = {
+            agent: count
+            for agent, count in enumerate(self._interactions)
+            if count
+        }
+        return StepMetrics(
+            steps=self._total_steps,
+            interactions_per_agent=per_agent,
+            effective_steps=self._effective_steps,
+        )
+
+    def state_of(self, agent: int) -> StateT:
+        """Current state of one agent; out-of-range indices raise ``IndexError``."""
+        if not 0 <= agent < len(self._codes):
+            raise IndexError(
+                f"agent {agent} out of range for a population of {len(self._codes)}"
+            )
+        return self._encoder.decode(self._codes[agent])
+
+    def states(self) -> List[StateT]:
+        """Snapshot of the agent states (decoded fresh on every call)."""
+        return self._encoder.decode_all(self._codes)
+
+    def codes(self) -> List[int]:
+        """The live integer state array (read-only for callers)."""
+        return self._codes
+
+    def configuration(self) -> Configuration[StateT]:
+        """Immutable snapshot of the current configuration."""
+        return Configuration(self._encoder.decode_all(self._codes))
+
+    def leader_count(self) -> int:
+        """Number of agents currently outputting the leader symbol (O(1))."""
+        return self._leaders
+
+    def add_observer(self, observer: object) -> None:
+        """Unsupported: observers would reintroduce a Python call per step."""
+        raise InvalidParameterError(
+            "the batched engine does not support per-interaction observers; "
+            "use the step engine (Simulation) for traced runs"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _advance(self, count: int) -> None:
+        """Execute ``count`` interactions through the table (one block).
+
+        The totals are committed in ``finally`` so a mid-block
+        :class:`ScheduleExhaustedError` (scheduler mode) leaves the counters
+        exactly at the executed prefix, matching the step engine.
+        """
+        codes = self._codes
+        width = self._width
+        initiator_out = self._initiator_out
+        responder_out = self._responder_out
+        changed = self._changed
+        leader_delta = self._leader_delta
+        counts = self._interactions
+        effective = 0
+        leaders = self._leaders
+        executed = 0
+        try:
+            if self._scheduler is None:
+                # Draw the whole block of arc indices up front (same
+                # randrange stream, in the same order, as the uniformly
+                # random scheduler), then apply them through the table.
+                randrange = self._rng.randrange_callable()
+                num_arcs = self._num_arcs
+                draws = [randrange(num_arcs) for _ in range(count)]
+                arcs = self._arc_list
+                if arcs is not None:
+                    for index in draws:
+                        initiator, responder = arcs[index]
+                        qq = codes[initiator] * width + codes[responder]
+                        if changed[qq]:
+                            codes[initiator] = initiator_out[qq]
+                            codes[responder] = responder_out[qq]
+                            effective += 1
+                            leaders += leader_delta[qq]
+                        counts[initiator] += 1
+                        counts[responder] += 1
+                else:
+                    arc_by_index = self._population.arc_by_index
+                    for index in draws:
+                        initiator, responder = arc_by_index(index)
+                        qq = codes[initiator] * width + codes[responder]
+                        if changed[qq]:
+                            codes[initiator] = initiator_out[qq]
+                            codes[responder] = responder_out[qq]
+                            effective += 1
+                            leaders += leader_delta[qq]
+                        counts[initiator] += 1
+                        counts[responder] += 1
+                executed = count
+            else:
+                next_arc = self._scheduler.next_arc
+                while executed < count:
+                    initiator, responder = next_arc()
+                    executed += 1
+                    qq = codes[initiator] * width + codes[responder]
+                    if changed[qq]:
+                        codes[initiator] = initiator_out[qq]
+                        codes[responder] = responder_out[qq]
+                        effective += 1
+                        leaders += leader_delta[qq]
+                    counts[initiator] += 1
+                    counts[responder] += 1
+        finally:
+            self._total_steps += executed
+            self._effective_steps += effective
+            self._leaders = leaders
+
+    def _advance_chunked(self, count: int) -> None:
+        """Execute ``count`` interactions in bounded-size blocks."""
+        remaining = count
+        while remaining > 0:
+            block = min(remaining, _MAX_BLOCK)
+            self._advance(block)
+            remaining -= block
+
+    def step(self) -> bool:
+        """Execute one interaction; return True when some state changed."""
+        before = self._effective_steps
+        self._advance(1)
+        return self._effective_steps != before
+
+    def run(self, steps: int) -> Configuration[StateT]:
+        """Execute exactly ``steps`` interactions and return the final snapshot."""
+        if steps < 0:
+            raise InvalidParameterError(f"steps must be non-negative, got {steps}")
+        self._advance_chunked(steps)
+        return self.configuration()
+
+    def run_sequence(self) -> Configuration[StateT]:
+        """Run until the (deterministic) scheduler is exhausted."""
+        if self._scheduler is None:
+            raise InvalidParameterError(
+                "run_sequence needs an explicit (finite) scheduler; this "
+                "simulation draws from a random source"
+            )
+        try:
+            while True:
+                self._advance(_MAX_BLOCK)
+        except ScheduleExhaustedError:
+            pass
+        return self.configuration()
+
+    def run_until(
+        self,
+        predicate: StatePredicate,
+        max_steps: int,
+        check_interval: int = 1,
+    ) -> RunResult[StateT]:
+        """Run until ``predicate(states)`` holds — identical semantics (and,
+        per arc stream, identical step counts) to :meth:`Simulation.run_until`.
+
+        The predicate is evaluated on a zero-copy decoded view of the state
+        array: agents in equal states share one object, so predicates must
+        treat the sequence as read-only (all predicates in this package do).
+        """
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be non-negative, got {max_steps}")
+        if check_interval < 1:
+            raise ValueError(f"check_interval must be positive, got {check_interval}")
+        decode_view = self._encoder.decode_view
+        if predicate(decode_view(self._codes)):
+            return RunResult(True, 0, self.configuration())
+        executed = 0
+        while executed < max_steps:
+            burst = min(check_interval, max_steps - executed)
+            self._advance_chunked(burst)
+            executed += burst
+            if predicate(decode_view(self._codes)):
+                return RunResult(True, executed, self.configuration())
+        return RunResult(False, executed, self.configuration())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BatchedSimulation protocol={self._protocol.name!r} "
+            f"population={self._population.name!r} states={self._width} "
+            f"steps={self._total_steps}>"
+        )
+
+
+def batched_simulation_factory(
+    protocol: Protocol[StateT],
+    population: Population,
+    initial: Configuration[StateT],
+    rng: RandomSource,
+    encoder: "StateEncoder[StateT] | None" = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> BatchedSimulation[StateT]:
+    """Batched counterpart of ``default_simulation_factory``.
+
+    Consumes exactly one ``rng.randint`` draw — the same draw, in the same
+    position, as the step-engine factory — so switching engines never shifts
+    any other random stream and per-trial results stay bit-identical.
+    """
+    return BatchedSimulation(
+        protocol, population, initial,
+        rng=rng.randint(0, 2 ** 31 - 1),
+        encoder=encoder, max_states=max_states,
+    )

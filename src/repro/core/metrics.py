@@ -55,9 +55,22 @@ class LeaderTrajectory:
     samples: List[Tuple[int, int]] = field(default_factory=list)
 
     def maybe_sample(self, step: int, leader_count: int) -> None:
-        """Record ``(step, leader_count)`` when ``step`` hits the sampling grid."""
-        if step % self.sample_interval == 0:
-            self.samples.append((step, leader_count))
+        """Record ``(step, leader_count)`` once per crossed sampling-grid point.
+
+        When the simulation advances one step at a time this records exactly
+        at the grid points (multiples of ``sample_interval``).  Under burst
+        stepping (``run_until`` with ``check_interval > 1``, or the batched
+        engine) a burst may jump over a grid point entirely; the first call
+        after the jump records the current count instead of silently skipping
+        the grid point.  At most one sample is taken per call, so a burst
+        spanning several grid points contributes one (coarser) sample.
+        """
+        if self.samples:
+            last_step = self.samples[-1][0]
+            next_grid = (last_step // self.sample_interval + 1) * self.sample_interval
+            if step < next_grid:
+                return
+        self.samples.append((step, leader_count))
 
     def final_leader_count(self) -> Optional[int]:
         """Leader count at the last sample, if any sample was taken."""

@@ -33,6 +33,19 @@ class RandomSource:
         """Seed this source was created with (``None`` for entropy-seeded)."""
         return self._seed
 
+    def getstate(self) -> object:
+        """Opaque snapshot of the stream position (pass to :meth:`setstate`).
+
+        Used by schedulers to support exact replay: a snapshot taken at
+        construction lets ``reset()`` rewind the stream to that point even
+        when the source was entropy-seeded or handed over mid-stream.
+        """
+        return self._random.getstate()
+
+    def setstate(self, state: object) -> None:
+        """Rewind the stream to a snapshot previously taken with :meth:`getstate`."""
+        self._random.setstate(state)
+
     def spawn(self, label: str) -> "RandomSource":
         """Derive an independent child stream identified by ``label``.
 
@@ -60,6 +73,19 @@ class RandomSource:
     def randrange(self, upper: int) -> int:
         """Uniform integer in ``[0, upper)``."""
         return self._random.randrange(upper)
+
+    def randrange_callable(self):
+        """The fastest ``upper -> [0, upper)`` callable with the same stream.
+
+        For a positive ``upper``, ``random.Random.randrange(upper)`` is a thin
+        argument-checking wrapper around ``_randbelow`` — the two consume the
+        generator identically, so hot loops (the batched engine draws one
+        index per interaction) can skip the wrapper without perturbing any
+        seeded stream.  Falls back to :meth:`randrange` if the CPython
+        internal ever disappears; the engine cross-check suite would catch a
+        stream divergence either way.
+        """
+        return getattr(self._random, "_randbelow", None) or self.randrange
 
     def random(self) -> float:
         """Uniform float in ``[0, 1)``."""

@@ -39,15 +39,36 @@ class Scheduler(abc.ABC):
 
 
 class UniformRandomScheduler(Scheduler):
-    """The uniformly random scheduler of the population-protocol model."""
+    """The uniformly random scheduler of the population-protocol model.
+
+    Arcs are drawn through :meth:`Population.sample_arc` — one
+    ``randrange(num_arcs)`` draw per step — so populations with an implicit
+    arc set (e.g. large complete graphs) never have to materialize their
+    arc list just to be scheduled.
+    """
 
     def __init__(self, population: Population, rng: "RandomSource | int | None" = None) -> None:
-        self._arcs = population.arcs
+        self._population = population
         self._rng = ensure_source(rng)
-        self._num_arcs = len(self._arcs)
+        self._num_arcs = population.num_arcs
+        # Hot path: index the arc list directly when the population already
+        # has one (rings, explicit graphs); go through the closed-form
+        # sample_arc only for lazy/implicit arc sets, which must never be
+        # forced to materialize.  Both paths consume one randrange per draw.
+        self._arcs = population.arcs if population.has_materialized_arcs else None
+        # Snapshot of the stream position at construction: reset() rewinds to
+        # it, which works for seeded, entropy-seeded, and mid-stream sources.
+        self._initial_rng_state = self._rng.getstate()
 
     def next_arc(self) -> Arc:
-        return self._arcs[self._rng.randrange(self._num_arcs)]
+        arcs = self._arcs
+        if arcs is not None:
+            return arcs[self._rng.randrange(self._num_arcs)]
+        return self._population.sample_arc(self._rng)
+
+    def reset(self) -> None:
+        """Rewind the random stream so a replay reproduces the same arcs."""
+        self._rng.setstate(self._initial_rng_state)
 
     @property
     def rng(self) -> RandomSource:
@@ -97,7 +118,14 @@ class InterleavedScheduler(Scheduler):
         return self._random.next_arc()
 
     def reset(self) -> None:
+        """Rewind both halves so a reset replay is an exact repetition.
+
+        Resetting only the deterministic prefix would continue the random
+        suffix from wherever its stream happened to be, silently producing a
+        different execution on replay.
+        """
         self._prefix.reset()
+        self._random.reset()
 
 
 # ---------------------------------------------------------------------- #

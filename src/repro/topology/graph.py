@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.errors import InvalidParameterError, TopologyError
+from repro.core.rng import RandomSource
 
 #: An arc of the population graph: (initiator index, responder index).
 Arc = Tuple[int, int]
@@ -70,8 +71,52 @@ class Population:
 
     @property
     def arcs(self) -> Tuple[Arc, ...]:
-        """All possible interactions as (initiator, responder) pairs."""
+        """All possible interactions as (initiator, responder) pairs.
+
+        Subclasses with an implicit arc set (e.g. :class:`CompleteGraph`)
+        override this to materialize lazily; uniform sampling should go
+        through :meth:`sample_arc` / :meth:`arc_by_index`, which never force
+        the materialization.
+        """
         return self._arcs
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs ``|E|`` (without materializing an implicit arc set)."""
+        return len(self._arcs)
+
+    @property
+    def has_materialized_arcs(self) -> bool:
+        """True when :attr:`arcs` is already allocated (free to index).
+
+        Lazy subclasses return False until the arc list has actually been
+        built; hot paths use this to decide between indexing the list and
+        the closed-form :meth:`arc_by_index` — without ever forcing the
+        materialization themselves.
+        """
+        return True
+
+    def arc_by_index(self, index: int) -> Arc:
+        """The arc at position ``index`` of the arc enumeration.
+
+        ``index`` must be in ``[0, num_arcs)``; the enumeration order matches
+        :attr:`arcs`.  Subclasses with implicit arc sets override this with a
+        closed form so indexing needs no arc list.
+        """
+        if not 0 <= index < self.num_arcs:
+            raise TopologyError(
+                f"arc index {index} outside [0, {self.num_arcs}) for {self._name!r}"
+            )
+        return self._arcs[index]
+
+    def sample_arc(self, rng: "RandomSource") -> Arc:
+        """One uniformly random arc, using a single ``randrange(num_arcs)`` draw.
+
+        This is the hot path of the uniformly random scheduler; the single
+        draw keeps random streams bit-identical to indexing an explicit arc
+        list, while letting implicit-arc populations avoid allocating it.
+        """
+        return self.arc_by_index(rng.randrange(self.num_arcs))
 
     def agents(self) -> range:
         """Iterator over agent indices."""
@@ -120,7 +165,7 @@ class Population:
             raise TopologyError("population graph must be weakly connected")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Population {self._name!r} n={self._size} arcs={len(self._arcs)}>"
+        return f"<Population {self._name!r} n={self._size} arcs={self.num_arcs}>"
 
 
 def population_from_edges(size: int, edges: Sequence[Tuple[int, int]], directed: bool,

@@ -74,6 +74,20 @@ def test_fit_rejects_degenerate_inputs():
         fit_growth_law([4, 8], [1.0], GROWTH_LAWS["n"])
 
 
+def test_fit_rejects_non_positive_measurements():
+    """Regression: zero-valued measurements used to be silently dropped from
+    the relative error, so the reported error covered fewer points than the
+    caller supplied."""
+    with pytest.raises(InvalidParameterError):
+        fit_growth_law([4, 8, 16], [16.0, 0.0, 256.0], GROWTH_LAWS["n^2"])
+    with pytest.raises(InvalidParameterError):
+        fit_growth_law([4, 8], [16.0, -3.0], GROWTH_LAWS["n^2"])
+    # NaN (e.g. the mean of a sweep point with no converged trial) is not
+    # "strictly positive" either.
+    with pytest.raises(InvalidParameterError):
+        fit_growth_law([4, 8], [16.0, float("nan")], GROWTH_LAWS["n^2"])
+
+
 def test_ratio_table_flat_for_matching_law():
     sizes = [8, 16, 32]
     values = [5.0 * n for n in sizes]

@@ -21,6 +21,7 @@ def test_builder_defaults_match_experiment_config():
         "check_interval": ExperimentConfig.check_interval,
         "kappa_factor": ExperimentConfig.kappa_factor,
         "workers": 1,
+        "engine": ExperimentConfig.engine,
     }
 
 

@@ -1,0 +1,104 @@
+"""Tests for the state-space encoder (the batched engine's compiler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import random_configuration
+from repro.core.encoding import DEFAULT_MAX_STATES, StateEncoder
+from repro.core.errors import InvalidParameterError, InvalidStateError, StateSpaceError
+from repro.core.protocol import Protocol
+from repro.core.rng import RandomSource
+from repro.protocols.baselines.angluin_modk import AngluinModKProtocol
+from repro.protocols.baselines.fischer_jiang import FischerJiangProtocol, FischerJiangState
+from repro.protocols.ppl import PPLProtocol
+
+
+def _fischer_jiang_encoder():
+    protocol = FischerJiangProtocol()
+    initial = random_configuration(protocol, 16, RandomSource(3))
+    return protocol, StateEncoder.build(protocol, initial.states())
+
+
+def test_encoder_enumerates_small_state_space_completely():
+    protocol, encoder = _fischer_jiang_encoder()
+    assert 1 <= encoder.num_states <= protocol.state_space_size()
+
+
+def test_compiled_table_matches_the_transition_function_on_every_pair():
+    protocol, encoder = _fischer_jiang_encoder()
+    initiator_out, responder_out, changed, leader_delta = encoder.tables()
+    width = encoder.num_states
+    for ci in range(width):
+        for cr in range(width):
+            before_i, before_r = encoder.decode(ci), encoder.decode(cr)
+            after_i, after_r = protocol.transition(before_i, before_r)
+            qq = ci * width + cr
+            assert encoder.decode(initiator_out[qq]) == after_i
+            assert encoder.decode(responder_out[qq]) == after_r
+            assert changed[qq] == ((after_i != before_i) or (after_r != before_r))
+            expected_delta = (
+                int(protocol.is_leader(after_i)) + int(protocol.is_leader(after_r))
+                - int(protocol.is_leader(before_i)) - int(protocol.is_leader(before_r))
+            )
+            assert leader_delta[qq] == expected_delta
+
+
+def test_encode_decode_round_trip_and_fresh_copies():
+    protocol, encoder = _fischer_jiang_encoder()
+    state = FischerJiangState.fresh_leader()
+    code = encoder.encode(state)
+    decoded = encoder.decode(code)
+    assert decoded == state
+    assert decoded is not state  # mutable states come back as fresh copies
+    decoded.leader = 0  # corrupting the copy must not corrupt the table
+    assert encoder.decode(code) == FischerJiangState.fresh_leader()
+
+
+def test_encode_rejects_states_outside_the_enumerated_space():
+    _, encoder = _fischer_jiang_encoder()
+    # The oracle's absence flag is only ever raised from outside the pairwise
+    # transition function, so absence=1 states are unreachable here.
+    foreign = FischerJiangState(leader=0, bullet=0, shield=0, absence=1)
+    with pytest.raises(InvalidStateError):
+        encoder.encode(foreign)
+
+
+def test_declared_bound_gate_rejects_large_state_protocols_immediately():
+    protocol = PPLProtocol.for_population(8, kappa_factor=4)
+    initial = random_configuration(protocol, 8, RandomSource(1))
+    with pytest.raises(StateSpaceError):
+        StateEncoder.build(protocol, initial.states())
+    assert StateEncoder.try_build(protocol, initial.states()) is None
+
+
+def test_enumeration_cap_stops_the_closure():
+    protocol = FischerJiangProtocol()
+    with pytest.raises(StateSpaceError):
+        StateEncoder.build(
+            protocol, list(protocol.canonical_states()),
+            max_states=2, use_declared_bound=False,
+        )
+
+
+def test_canonical_states_are_the_default_seeds():
+    protocol = AngluinModKProtocol(2)
+    encoder = StateEncoder.build(protocol)
+    assert encoder.num_states <= protocol.state_space_size() <= DEFAULT_MAX_STATES
+
+
+def test_encoder_requires_some_seed_states():
+    class Opaque(Protocol):
+        name = "opaque"
+
+        def transition(self, initiator, responder):  # pragma: no cover
+            return initiator, responder
+
+        def output(self, state):  # pragma: no cover
+            return "F"
+
+        def random_state(self, rng):  # pragma: no cover
+            return 0
+
+    with pytest.raises(InvalidParameterError):
+        StateEncoder.build(Opaque())

@@ -27,8 +27,30 @@ def test_leader_trajectory_sampling():
         trajectory.maybe_sample(step, leader_count=5 - step // 10)
     assert trajectory.final_leader_count() == 1
     assert trajectory.first_step_with_unique_leader() == 40
-    trajectory.maybe_sample(55, 1)  # off the grid: ignored
-    assert len(trajectory.samples) == 5
+    # 55 crossed the grid point 50 since the last sample at 40: recorded.
+    trajectory.maybe_sample(55, 1)
+    assert trajectory.samples[-1] == (55, 1)
+    # 57 crossed nothing new (next grid point is 60): ignored.
+    trajectory.maybe_sample(57, 1)
+    assert len(trajectory.samples) == 6
+
+
+def test_leader_trajectory_burst_stepping_never_skips_grid_points():
+    """Regression: burst stepping used to skip every grid point the burst
+    jumped over, because sampling required ``step % interval == 0`` exactly."""
+    trajectory = LeaderTrajectory(sample_interval=100)
+    # A run_until-style burst loop with check_interval=64: steps 64, 128, ...
+    for step in range(64, 700, 64):
+        trajectory.maybe_sample(step, leader_count=3)
+    steps = [step for step, _ in trajectory.samples]
+    # One sample per crossed grid point (0 was never visited; bursts cross
+    # 100, 200, ... and the first call after each crossing records).
+    assert steps == [64, 128, 256, 320, 448, 512, 640]
+    # Exact-grid sampling still records at the grid points themselves.
+    exact = LeaderTrajectory(sample_interval=10)
+    for step in range(0, 31):
+        exact.maybe_sample(step, leader_count=1)
+    assert [step for step, _ in exact.samples] == [0, 10, 20, 30]
 
 
 def _make_simulation(n=8):

@@ -112,3 +112,34 @@ def test_scheduler_rng_exposed_for_substreams():
     ring = DirectedRing(4)
     scheduler = UniformRandomScheduler(ring, rng=RandomSource(8))
     assert isinstance(scheduler.rng, RandomSource)
+
+
+def test_uniform_scheduler_reset_replays_the_same_stream():
+    """Regression: reset() used to be a no-op, so a replay continued the
+    random stream from wherever it happened to be."""
+    ring = DirectedRing(6)
+    scheduler = UniformRandomScheduler(ring, rng=42)
+    first = [scheduler.next_arc() for _ in range(25)]
+    scheduler.reset()
+    assert [scheduler.next_arc() for _ in range(25)] == first
+
+
+def test_uniform_scheduler_reset_works_without_an_explicit_seed():
+    ring = DirectedRing(6)
+    scheduler = UniformRandomScheduler(ring)  # entropy-seeded
+    first = [scheduler.next_arc() for _ in range(25)]
+    scheduler.reset()
+    assert [scheduler.next_arc() for _ in range(25)] == first
+
+
+def test_interleaved_scheduler_reset_replays_both_halves():
+    """Regression: reset() rewound only the deterministic prefix, so the
+    random suffix diverged on replay."""
+    ring = DirectedRing(5)
+    prefix = seq_r(ring, 0, 3)
+    scheduler = InterleavedScheduler(prefix, ring, rng=3)
+    first = [scheduler.next_arc() for _ in range(40)]
+    scheduler.reset()
+    replay = [scheduler.next_arc() for _ in range(40)]
+    assert replay == first
+    assert replay[:3] == prefix

@@ -115,7 +115,59 @@ def test_run_json_schema_fields(capsys):
     assert result["seed"] == 5
     assert len(result["trials"]) == 2
     for trial in result["trials"]:
-        assert set(trial) == {"trial", "steps", "converged", "wall_time"}
+        assert set(trial) == {"trial", "steps", "converged", "wall_time", "engine"}
+        assert trial["engine"] == "step"  # P_PL's state space falls back
+
+
+def test_run_engine_flag_selects_the_batched_engine(capsys):
+    assert main(["run", "angluin-modk", "--sizes", "9", "--trials", "2",
+                 "--max-steps", "400000", "--engine", "batched",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    trials = payload["results"][0]["trials"]
+    assert {trial["engine"] for trial in trials} == {"batched"}
+
+
+def test_run_engines_agree_on_step_counts(capsys):
+    outcomes = {}
+    for engine in ("step", "batched"):
+        assert main(["run", "angluin-modk", "--sizes", "9", "--trials", "2",
+                     "--max-steps", "400000", "--engine", engine,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        outcomes[engine] = [trial["steps"]
+                            for trial in payload["results"][0]["trials"]]
+    assert outcomes["step"] == outcomes["batched"]
+
+
+def test_run_rejects_batched_engine_for_step_only_protocols(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fischer-jiang", "--sizes", "8", "--engine", "batched"])
+    assert "requires the step engine" in capsys.readouterr().err
+
+
+def test_run_rejects_engine_flag_for_analytic_specs(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "chen-chen", "--sizes", "8", "--engine", "step"])
+    assert "analytic" in capsys.readouterr().err
+
+
+def test_forced_batched_engine_on_unencodable_protocol_is_a_usage_error(capsys):
+    """A forced --engine batched on P_PL must surface as a clean usage error,
+    not a StateSpaceError traceback mid-run."""
+    with pytest.raises(SystemExit):
+        main(["run", "ppl", "--sizes", "8", "--trials", "1", "--engine", "batched"])
+    err = capsys.readouterr().err
+    assert "enumeration cap" in err and "--engine batched" in err
+
+
+def test_bespoke_simulation_commands_reject_engine_flag(capsys):
+    """Commands that drive their own step-engine simulations must refuse the
+    flag rather than silently ignore the user's engine choice."""
+    for command in ("detection", "elimination", "orientation", "figure1", "demo"):
+        with pytest.raises(SystemExit):
+            main([command, "--sizes", "8", "--engine", "batched"])
+        assert "--engine does not apply" in capsys.readouterr().err
 
 
 def test_run_with_family_and_workers(capsys):

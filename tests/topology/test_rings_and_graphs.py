@@ -6,6 +6,8 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.errors import InvalidParameterError, TopologyError
+from repro.core.rng import RandomSource
+from repro.core.scheduler import UniformRandomScheduler
 from repro.topology.complete import CompleteGraph
 from repro.topology.graph import Population, population_from_edges
 from repro.topology.ring import DirectedRing, UndirectedRing
@@ -106,3 +108,43 @@ def test_complete_graph_arc_count(n):
     graph = CompleteGraph(n)
     assert len(graph.arcs) == n * (n - 1)
     assert graph.degree(0) == 2 * (n - 1)
+
+
+@given(st.integers(min_value=2, max_value=12))
+def test_complete_graph_closed_forms_match_the_eager_enumeration(n):
+    graph = CompleteGraph(n)
+    eager = [(i, r) for i in range(n) for r in range(n) if i != r]
+    assert graph.num_arcs == len(eager)
+    assert [graph.arc_by_index(k) for k in range(graph.num_arcs)] == eager
+    assert list(graph.arcs) == eager
+    for agent in range(n):
+        others = [other for other in range(n) if other != agent]
+        assert graph.out_neighbors(agent) == others
+        assert graph.in_neighbors(agent) == others
+    assert graph.has_arc(0, n - 1) and not graph.has_arc(1, 1)
+    assert not graph.has_arc(0, n)
+
+
+def test_complete_graph_is_lazy_at_scale():
+    """Regression: n=10^4 used to materialize ~10^8 arc tuples up front.
+    Construction, sampling, and scheduling must all work without ever
+    building the arc list."""
+    n = 10_000
+    graph = CompleteGraph(n)  # must be (near-)instant and allocation-free
+    assert graph.num_arcs == n * (n - 1)
+    assert graph._materialized is None
+    rng = RandomSource(3)
+    for _ in range(200):
+        initiator, responder = graph.sample_arc(rng)
+        assert 0 <= initiator < n and 0 <= responder < n
+        assert initiator != responder
+    scheduler = UniformRandomScheduler(graph, rng=11)
+    arcs = [scheduler.next_arc() for _ in range(100)]
+    # Bit-identical to indexing an explicit arc list with the same draws.
+    reference_rng = RandomSource(11)
+    expected = [graph.arc_by_index(reference_rng.randrange(graph.num_arcs))
+                for _ in range(100)]
+    assert arcs == expected
+    assert graph._materialized is None  # still never built
+    with pytest.raises(TopologyError):
+        graph.arc_by_index(graph.num_arcs)
