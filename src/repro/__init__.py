@@ -42,7 +42,16 @@ from repro.core import (
     UniformRandomScheduler,
 )
 from repro.protocols.ppl import PPLParams, PPLProtocol, PPLState
-from repro.topology import CompleteGraph, DirectedRing, Population, UndirectedRing
+from repro.topology import (
+    CompleteGraph,
+    DirectedRing,
+    Population,
+    RandomRegularGraph,
+    Torus2D,
+    UndirectedRing,
+    build_topology,
+    topology_names,
+)
 
 __version__ = "1.1.0"
 
@@ -60,6 +69,7 @@ __all__ = [
     "PPLState",
     "Population",
     "ProtocolSpec",
+    "RandomRegularGraph",
     "RandomSource",
     "ReproError",
     "RunResult",
@@ -67,9 +77,12 @@ __all__ = [
     "Simulation",
     "StateEncoder",
     "StateSpaceError",
+    "Torus2D",
     "UndirectedRing",
     "UniformRandomScheduler",
     "__version__",
+    "build_topology",
     "experiment",
     "run_spec",
+    "topology_names",
 ]

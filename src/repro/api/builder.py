@@ -23,14 +23,18 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.api.config import ExperimentConfig
+from repro.api.config import (
+    DEFAULT_TOPOLOGY,
+    ExperimentConfig,
+    freeze_topology_params,
+)
 from repro.api.executor import TrialResult, run_trials, trial_tasks
 from repro.api.registry import ProtocolSpec, get_spec
 
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """Typed outcome of one built experiment (one protocol, one ring size)."""
+    """Typed outcome of one built experiment (one protocol, one population)."""
 
     spec: str
     protocol: str
@@ -41,6 +45,8 @@ class ExperimentResult:
     workers: int
     trials: Tuple[TrialResult, ...]
     wall_time: float
+    topology: str = DEFAULT_TOPOLOGY
+    topology_params: Tuple[Tuple[str, int], ...] = ()
 
     # ------------------------------------------------------------------ #
     # Summaries
@@ -74,6 +80,8 @@ class ExperimentResult:
             "spec": self.spec,
             "protocol": self.protocol,
             "population_size": self.population_size,
+            "topology": self.topology,
+            "topology_params": dict(self.topology_params),
             "family": self.family,
             "seed": self.seed,
             "max_steps": self.max_steps,
@@ -104,13 +112,40 @@ class ExperimentBuilder:
         self._kappa_factor: int = ExperimentConfig.kappa_factor
         self._workers: int = 1
         self._engine: str = ExperimentConfig.engine
+        self._topology: str = DEFAULT_TOPOLOGY
+        self._topology_params: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Fluent setters (each returns the builder)
     # ------------------------------------------------------------------ #
     def on_ring(self, n: int) -> "ExperimentBuilder":
-        """Run on a ring of ``n`` agents (validated against the spec)."""
+        """Run on a directed ring of ``n`` agents (validated against the spec)."""
+        return self.on_topology(DEFAULT_TOPOLOGY, n)
+
+    def on_complete(self, n: int) -> "ExperimentBuilder":
+        """Run on the complete graph over ``n`` agents."""
+        return self.on_topology("complete", n)
+
+    def on_torus(self, width: int, height: int) -> "ExperimentBuilder":
+        """Run on a ``width x height`` torus (``n = width*height`` agents)."""
+        return self.on_topology("torus", width * height,
+                                width=width, height=height)
+
+    def on_topology(self, name: str, n: int, **params: int) -> "ExperimentBuilder":
+        """Run on any registered topology (see :mod:`repro.topology.registry`).
+
+        Validated eagerly: the spec must support the topology and the size,
+        and the topology must be constructible for ``(n, params)`` — so a
+        bad combination fails in the chain, not mid-run.  Nothing is built
+        here; the population is constructed once per trial, in the worker.
+        """
+        self._spec.require_topology(name)
         self._spec.require_supported(n)
+        from repro.topology.registry import validate_topology
+
+        validate_topology(name, n, **params)
+        self._topology = name
+        self._topology_params = dict(params)
         self._n = n
         return self
 
@@ -206,6 +241,8 @@ class ExperimentBuilder:
             kappa_factor=self._kappa_factor,
             seed=self._seed,
             engine=self._engine,
+            topology=self._topology,
+            topology_params=freeze_topology_params(self._topology_params),
         )
 
     def describe(self) -> Dict[str, object]:
@@ -213,6 +250,8 @@ class ExperimentBuilder:
         return {
             "spec": self._spec.name,
             "population_size": self._n,
+            "topology": self._topology,
+            "topology_params": dict(self._topology_params),
             "family": self._family,
             "trials": self._trials,
             "seed": self._seed,
@@ -226,7 +265,6 @@ class ExperimentBuilder:
     def run(self) -> ExperimentResult:
         """Execute the configured trials and return the typed result."""
         config = self.build_config()
-        protocol_name = self._spec.build_protocol(self._n, config).name
         tasks = trial_tasks(
             self._spec.name, self._n, config, self._family,
             rng_label=self._spec.rng_label or self._spec.name,
@@ -236,7 +274,9 @@ class ExperimentBuilder:
         wall_time = time.perf_counter() - started
         return ExperimentResult(
             spec=self._spec.name,
-            protocol=protocol_name,
+            # The workers report the protocol's display name with each
+            # outcome, so no throwaway instance is built here just for it.
+            protocol=outcomes[0].protocol_name or self._spec.name,
             population_size=self._n,
             family=self._family,
             seed=self._seed,
@@ -244,6 +284,8 @@ class ExperimentBuilder:
             workers=self._workers,
             trials=tuple(outcomes),
             wall_time=wall_time,
+            topology=self._topology,
+            topology_params=freeze_topology_params(self._topology_params),
         )
 
 

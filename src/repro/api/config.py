@@ -10,9 +10,10 @@ picklable dataclass so trial tasks can ship it to worker processes verbatim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Sequence, Tuple
 
 from repro.core.rng import RandomSource
+from repro.topology.registry import DEFAULT_TOPOLOGY
 
 
 @dataclass(frozen=True)
@@ -30,6 +31,13 @@ class ExperimentConfig:
     ``"step"`` forces the step loop; ``"batched"`` requires the batched
     engine and errors when the protocol cannot be encoded.  Both engines
     produce bit-identical trial results for the same seed.
+
+    ``topology`` names the population graph every trial runs on (a
+    :mod:`repro.topology.registry` name; default: the paper's directed
+    ring), and ``topology_params`` carries its constructor parameters as a
+    sorted tuple of ``(name, value)`` pairs — a tuple, not a dict, so the
+    config stays frozen, hashable, and picklable for the worker processes,
+    which rebuild the population from these fields deterministically.
     """
 
     sizes: Sequence[int] = (8, 16, 32)
@@ -39,7 +47,19 @@ class ExperimentConfig:
     kappa_factor: int = 4
     seed: int = 2023
     engine: str = "auto"
+    topology: str = DEFAULT_TOPOLOGY
+    topology_params: Tuple[Tuple[str, int], ...] = ()
 
     def rng(self, label: str) -> RandomSource:
         """A reproducible random stream for one experiment component."""
         return RandomSource(self.seed).spawn(label)
+
+    def topology_kwargs(self) -> Dict[str, int]:
+        """The topology parameters as keyword arguments for the factory."""
+        return dict(self.topology_params)
+
+
+def freeze_topology_params(params: "Dict[str, int] | None",
+                           ) -> Tuple[Tuple[str, int], ...]:
+    """Canonicalize a params dict into the frozen tuple-of-pairs form."""
+    return tuple(sorted((params or {}).items()))

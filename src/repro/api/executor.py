@@ -64,6 +64,11 @@ class TrialResult:
     #: observability for the auto engine's enumerate-or-fallback choice.
     #: Both engines produce identical steps/converged for the same seeds.
     engine: str = "step"
+    #: Display name of the protocol instance that ran.  The worker builds
+    #: the protocol anyway, so reporting the name here lets aggregators
+    #: (run_spec, the builder) resolve it without constructing a throwaway
+    #: instance of their own before the fan-out.
+    protocol_name: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -117,7 +122,7 @@ def execute_trial(task: TrialTask) -> TrialResult:
 
     spec = get_spec(task.spec_name)
     protocol = spec.build_protocol(task.population_size, task.config)
-    population = spec.build_population(task.population_size)
+    population = spec.build_population(task.population_size, task.config)
     initial = spec.build_configuration(
         task.family, protocol, task.population_size,
         RandomSource(task.configuration_seed),
@@ -127,7 +132,7 @@ def execute_trial(task: TrialTask) -> TrialResult:
         protocol, population, initial, RandomSource(task.scheduler_seed),
         engine=task.config.engine,
     )
-    predicate = spec.stop_predicate(protocol)
+    predicate = spec.build_stop_predicate(protocol, population)
     run = simulation.run_until(
         predicate,
         max_steps=task.config.max_steps,
@@ -139,6 +144,7 @@ def execute_trial(task: TrialTask) -> TrialResult:
         converged=run.satisfied,
         wall_time=time.perf_counter() - started,
         engine="batched" if isinstance(simulation, BatchedSimulation) else "step",
+        protocol_name=protocol.name,
     )
 
 

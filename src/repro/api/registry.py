@@ -25,8 +25,9 @@ harness, CLI, or builder needs editing.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.convergence import (
     ConvergenceResult,
@@ -46,14 +47,23 @@ from repro.core.protocol import Protocol
 from repro.core.rng import RandomSource
 from repro.core.simulator import Simulation
 from repro.topology.graph import Population
+from repro.topology.registry import (
+    DEFAULT_TOPOLOGY,
+    build_topology,
+    get_topology_spec,
+    validate_topology,
+)
 from repro.topology.ring import DirectedRing
 
 #: Builds a protocol instance for one population size under one config.
 ProtocolFactory = Callable[[int, ExperimentConfig], Protocol]
 #: Builds an initial configuration: (protocol, n, rng) -> Configuration.
 ConfigurationFamily = Callable[[Protocol, int, RandomSource], Configuration]
-#: Builds the per-protocol stop predicate from a protocol instance.
-PredicateFactory = Callable[[Protocol], Callable[[Sequence], bool]]
+#: Builds the per-protocol stop predicate.  Factories take the protocol
+#: instance and may additionally accept the population (second positional
+#: parameter) when convergence is topology-dependent; see
+#: :meth:`ProtocolSpec.build_stop_predicate`.
+PredicateFactory = Callable[..., Callable[[Sequence], bool]]
 #: Builds a simulation (hook for oracle-augmented executions).
 SimulationFactory = Callable[
     [Protocol, Population, Configuration, RandomSource], Simulation
@@ -77,7 +87,12 @@ class ProtocolSpec:
     default_family: str = "adversarial"
     stop_predicate: Optional[PredicateFactory] = None
     simulation_factory: SimulationFactory = default_simulation_factory
-    population_factory: Callable[[int], Population] = DirectedRing
+    #: Topology names (see :mod:`repro.topology.registry`) this protocol is
+    #: defined on; ``None`` means any registered topology.  Protocols whose
+    #: correctness argument needs the ring (``ppl``, ``yokota2021``) pin
+    #: themselves to ``("directed-ring",)`` so a mismatched topology fails
+    #: fast instead of silently running a meaningless experiment.
+    supported_topologies: Optional[Tuple[str, ...]] = None
     supports: Callable[[int], bool] = _any_ring
     supported_note: str = "any ring size n >= 2"
     #: Prefix of the master RNG label (defaults to ``name``); the harness
@@ -143,6 +158,17 @@ class ProtocolSpec:
                 f"known families: {self.family_names()}"
             )
 
+    def require_topology(self, topology: str) -> None:
+        """Reject topologies this protocol is not defined on (fail fast)."""
+        get_topology_spec(topology)  # unknown names error with the known list
+        if (self.supported_topologies is not None
+                and topology not in self.supported_topologies):
+            raise ValueError(
+                f"protocol {self.name!r} does not support topology "
+                f"{topology!r} (supported: "
+                f"{', '.join(self.supported_topologies)})"
+            )
+
     # ------------------------------------------------------------------ #
     # Trial ingredients (called by the executor, possibly in a worker)
     # ------------------------------------------------------------------ #
@@ -152,13 +178,60 @@ class ProtocolSpec:
         self.require_supported(n)
         return self.factory(n, config)
 
-    def build_population(self, n: int) -> Population:
-        return self.population_factory(n)
+    def build_population(self, n: int,
+                         config: Optional[ExperimentConfig] = None) -> Population:
+        """Build the population graph ``config`` selects (default: the ring).
+
+        Called per trial, in every worker: the population is a pure function
+        of ``(config.topology, config.topology_params, n)``, which is what
+        keeps parallel execution bit-identical to serial execution on every
+        topology (seeded random-regular constructions included).
+        """
+        topology = config.topology if config is not None else DEFAULT_TOPOLOGY
+        params = config.topology_kwargs() if config is not None else {}
+        self.require_topology(topology)
+        return build_topology(topology, n, **params)
 
     def build_configuration(self, family: str, protocol: Protocol, n: int,
                             rng: RandomSource) -> Configuration:
         self.require_family(family)
         return self.families[family](protocol, n, rng)
+
+    def build_stop_predicate(self, protocol: Protocol,
+                             population: Population) -> Callable[[Sequence], bool]:
+        """Build the per-trial stop predicate.
+
+        A spec's ``stop_predicate`` factory historically received only the
+        protocol instance; factories whose convergence criterion depends on
+        the population graph (e.g. ``angluin-modk``, whose label-stability
+        notion is ring-specific) declare a second positional parameter and
+        receive the population too.  Dispatch is by declared arity, not by
+        catching ``TypeError``, so an error raised *inside* a factory is
+        never misread as a signature mismatch.
+        """
+        if self.stop_predicate is None:
+            raise ValueError(
+                f"protocol {self.name!r} is analytic and has no stop predicate"
+            )
+        try:
+            parameters = [
+                parameter
+                for parameter in inspect.signature(
+                    self.stop_predicate).parameters.values()
+                if parameter.kind in (parameter.POSITIONAL_ONLY,
+                                      parameter.POSITIONAL_OR_KEYWORD,
+                                      parameter.VAR_POSITIONAL)
+            ]
+            wants_population = (
+                len(parameters) >= 2
+                or any(parameter.kind is parameter.VAR_POSITIONAL
+                       for parameter in parameters)
+            )
+        except (TypeError, ValueError):  # builtins/partials without signatures
+            wants_population = False
+        if wants_population:
+            return self.stop_predicate(protocol, population)
+        return self.stop_predicate(protocol)
 
     @property
     def requires_step_engine(self) -> bool:
@@ -288,15 +361,21 @@ def run_spec(
         config = replace(config, engine=engine)
     spec.resolve_engine(config.engine)  # fail fast, before any fan-out
     spec.require_supported(n)
+    # Fail fast on topology name/params/size without building anything; the
+    # population itself is constructed once per trial, in the worker.
+    spec.require_topology(config.topology)
+    validate_topology(config.topology, n, **config.topology_kwargs())
     chosen_family = family or spec.default_family
     spec.require_family(chosen_family)  # fail fast, before any fan-out
-    protocol_name = spec.build_protocol(n, config).name
     tasks = trial_tasks(
         name, n, config, chosen_family, trials=trials,
         rng_label=rng_label or spec.rng_label or name,
     )
     outcomes = run_trials(tasks, workers=workers)
-    return collect_convergence(protocol_name, n, outcomes)
+    # The display name rides along with every trial outcome (the workers
+    # build the protocol anyway), so no throwaway instance is constructed
+    # here just to read `.name`.
+    return collect_convergence(outcomes[0].protocol_name or spec.name, n, outcomes)
 
 
 def collect_convergence(protocol_name: str, n: int,
@@ -372,6 +451,17 @@ def _stable_predicate(protocol):
     return protocol.is_stable
 
 
+def _angluin_predicate(protocol, population):
+    """Ring runs keep the strict label-stability criterion; any other
+    topology measures the first sole undisputed leader instead (the label
+    half of `is_stable` walks agents in ring order and is unsatisfiable on
+    graphs with leader-free cycles of length not divisible by k — see
+    AngluinModKProtocol.has_undisputed_leader)."""
+    if isinstance(population, DirectedRing):
+        return protocol.is_stable
+    return protocol.has_undisputed_leader
+
+
 def _yokota_factory(n: int, config: ExperimentConfig):
     from repro.protocols.baselines.yokota2021 import Yokota2021Protocol
 
@@ -402,9 +492,9 @@ def _angluin_spec(k: int, name: str) -> ProtocolSpec:
         summary=f"[5] Angluin et al.: constant-state SS-LE when k={k} does not divide n",
         factory=lambda n, config: AngluinModKProtocol(k),
         families={"adversarial": _random_family, "random": _random_family},
-        stop_predicate=_stable_predicate,
+        stop_predicate=_angluin_predicate,
         supports=lambda n: n >= 2 and n % k != 0,
-        supported_note=f"ring sizes n >= 2 with n not divisible by k={k}",
+        supported_note=f"population sizes n >= 2 with n not divisible by k={k}",
         rng_label="angluin",
         reference="[5] Angluin, Aspnes, Fischer, Jiang",
     )
@@ -457,6 +547,9 @@ def _register_builtin_specs() -> None:
         factory=_ppl_factory,
         families=_ppl_families(),
         stop_predicate=_ppl_safe_predicate,
+        # P_PL's segments/tokens are defined by the ring orientation; running
+        # it elsewhere would be a category error, so mismatches fail fast.
+        supported_topologies=("directed-ring",),
         rng_label="ppl",
         reference="PODC 2023 (the reproduced paper)",
     ))
@@ -466,6 +559,7 @@ def _register_builtin_specs() -> None:
         factory=_yokota_factory,
         families={"adversarial": _random_family, "random": _random_family},
         stop_predicate=_stable_predicate,
+        supported_topologies=("directed-ring",),
         rng_label="yokota",
         reference="[28] Yokota, Sudo, Masuzawa",
     ))
@@ -480,6 +574,9 @@ def _register_builtin_specs() -> None:
         # a pairwise transition table cannot express, so the batched engine
         # never applies (the raw protocol still encodes; see the benchmark).
         simulation_mode="step",
+        # The oracle/bullet machinery is topology-agnostic (the original
+        # paper states the oracle result for general graphs), so every
+        # registered topology is accepted.
         rng_label="fj",
         reference="[15] Fischer, Jiang",
     ))

@@ -38,9 +38,11 @@ from repro.api import (
     get_spec,
     list_specs,
 )
-from repro.core.errors import StateSpaceError
+from repro.api.config import DEFAULT_TOPOLOGY, freeze_topology_params
+from repro.core.errors import StateSpaceError, TopologyError
 from repro.core.fast_simulator import ENGINES
 from repro.experiments.reporting import format_table
+from repro.topology.registry import parse_topology, topology_names, validate_topology
 
 #: Handler result: (rendered text, JSON-ready payload).
 CommandOutput = Tuple[str, Dict[str, object]]
@@ -116,13 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "enumerate; results are bit-identical either way "
                             "(default: auto)")
 
+    topo = argparse.ArgumentParser(add_help=False)
+    topo.add_argument("--topology", default=DEFAULT_TOPOLOGY, metavar="NAME[:K=V,...]",
+                      help="population topology from the topology registry, with "
+                           "optional integer parameters, e.g. 'complete', "
+                           "'torus:width=4,height=3', 'random-regular:degree=4,seed=7' "
+                           f"(default: {DEFAULT_TOPOLOGY}; "
+                           f"registered: {', '.join(topology_names())})")
+
     subparsers.add_parser(
         "list", parents=[fmt],
         help="enumerate the registered protocol specs",
     )
 
     run = subparsers.add_parser(
-        "run", parents=[sweep, fmt],
+        "run", parents=[sweep, topo, fmt],
         help="run any registered protocol (see `repro-ssle list`)",
     )
     run.add_argument("protocol", help="a protocol spec name from `repro-ssle list`")
@@ -133,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("table1", parents=[sweep, fmt],
                           help="the Table-1 comparison")
-    scaling = subparsers.add_parser("scaling", parents=[sweep, fmt],
+    scaling = subparsers.add_parser("scaling", parents=[sweep, topo, fmt],
                                     help="the Theorem-3.1 scaling sweep")
     scaling.add_argument("--leaderless", action="store_true",
                          help="start P_PL from the leaderless trap instead of "
@@ -173,7 +183,17 @@ def _require_auto_engine(args: argparse.Namespace) -> None:
         )
 
 
+def _topology_from_args(args: argparse.Namespace):
+    """The ``(name, params)`` of the ``--topology`` flag (absent -> default)."""
+    raw = getattr(args, "topology", DEFAULT_TOPOLOGY)
+    try:
+        return parse_topology(raw)
+    except TopologyError as error:
+        raise CommandError(str(error)) from None
+
+
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    topology, topology_params = _topology_from_args(args)
     return ExperimentConfig(
         sizes=tuple(args.sizes),
         trials=args.trials,
@@ -182,6 +202,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         kappa_factor=args.kappa_factor,
         seed=args.seed,
         engine=args.engine,
+        topology=topology,
+        topology_params=freeze_topology_params(topology_params),
     )
 
 
@@ -212,6 +234,9 @@ def _cmd_list(args: argparse.Namespace) -> CommandOutput:
             "kind": spec.kind,
             "summary": spec.summary,
             "supported": spec.supported_note if spec.is_simulated else "analytic model",
+            "topologies": (list(spec.supported_topologies)
+                           if spec.is_simulated and spec.supported_topologies is not None
+                           else ("any" if spec.is_simulated else None)),
             "default_family": spec.default_family if spec.is_simulated else None,
             "families": spec.family_names(),
             "reference": spec.reference,
@@ -232,7 +257,7 @@ def _render_run_result(result) -> str:
         headers=["trial", "steps", "converged", "engine", "wall time (s)"],
         rows=[(trial.trial, trial.steps, trial.converged, trial.engine, trial.wall_time)
               for trial in result.trials],
-        title=(f"{result.protocol} on ring n={result.population_size} "
+        title=(f"{result.protocol} on {result.topology} n={result.population_size} "
                f"(family={result.family}, seed={result.seed}, workers={result.workers})"),
     )
     mean = result.mean_steps()
@@ -257,7 +282,8 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
     if not spec.is_simulated:
         for flag, value, default in (("--family", args.family, None),
                                      ("--workers", args.workers, 1),
-                                     ("--engine", args.engine, "auto")):
+                                     ("--engine", args.engine, "auto"),
+                                     ("--topology", args.topology, DEFAULT_TOPOLOGY)):
             if value != default:
                 raise CommandError(
                     f"protocol {spec.name!r} is analytic; {flag} does not apply"
@@ -272,9 +298,17 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
             spec.resolve_engine(args.engine)
         except ValueError as error:
             raise CommandError(str(error)) from None
+        try:
+            spec.require_topology(config.topology)
+        except ValueError as error:
+            raise CommandError(str(error)) from None
         for n in config.sizes:
             try:
                 spec.require_supported(n)
+                # The registry's construction-free feasibility check (torus
+                # factorization, regular-graph parity, ...): turns mid-sweep
+                # construction failures into a pre-run usage error.
+                validate_topology(config.topology, n, **config.topology_kwargs())
             except ValueError as error:
                 raise CommandError(str(error)) from None
     sections: List[str] = []
@@ -288,7 +322,7 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
             continue
         builder = (
             experiment(spec.name)
-            .on_ring(n)
+            .on_topology(config.topology, n, **config.topology_kwargs())
             .until_safe()
             .trials(config.trials)
             .seed(config.seed)
@@ -335,6 +369,16 @@ def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
     config = _config_from_args(args)
     if len(config.sizes) < 2:
         raise CommandError("scaling needs at least two ring sizes to fit growth laws")
+    # The sweep compares ring protocols (P_PL and the [28] baseline), so a
+    # non-ring --topology — or bad topology parameters — must fail here,
+    # before any trial runs.
+    try:
+        for spec_name in ["ppl"] + ([] if args.no_baseline else ["yokota2021"]):
+            get_spec(spec_name).require_topology(config.topology)
+        for n in config.sizes:
+            validate_topology(config.topology, n, **config.topology_kwargs())
+    except ValueError as error:
+        raise CommandError(str(error)) from None
     runner = run_ppl_leaderless if args.leaderless else run_ppl
     series = [measure_scaling(runner, "P_PL", config)]
     if not args.no_baseline:

@@ -133,12 +133,12 @@ class InterleavedScheduler(Scheduler):
 # ---------------------------------------------------------------------- #
 def seq_r(ring: DirectedRing, start: int, length: int) -> List[Arc]:
     """``seq_R(i, j) = e_i, e_{i+1}, ..., e_{i+j-1}`` (clockwise sweep)."""
-    return [ring.arc_by_index(start + offset) for offset in range(length)]
+    return [ring.arc_e(start + offset) for offset in range(length)]
 
 
 def seq_l(ring: DirectedRing, start: int, length: int) -> List[Arc]:
     """``seq_L(i, j) = e_{i-1}, e_{i-2}, ..., e_{i-j}`` (counter-clockwise sweep)."""
-    return [ring.arc_by_index(start - offset - 1) for offset in range(length)]
+    return [ring.arc_e(start - offset - 1) for offset in range(length)]
 
 
 def concat(*sequences: Sequence[Arc]) -> List[Arc]:

@@ -176,6 +176,28 @@ class AngluinModKProtocol(LeaderElectionProtocol[AngluinState]):
                 return False
         return True
 
+    def has_undisputed_leader(self, states: Sequence[AngluinState]) -> bool:
+        """Exactly one leader, and no live bullet can kill it.
+
+        The relaxed convergence event used on non-ring topologies.  The
+        label-consistency half of :meth:`is_stable` is ring-specific twice
+        over: it walks agents in index order (meaningless off the ring), and
+        the underlying theory needs it — a leader breaks the ring's single
+        cycle, so a consistent labelling always exists, whereas on graphs
+        with leader-free cycles of length not divisible by ``k`` (any torus
+        with ``k`` not dividing a side, the complete graph for ``n > 2``) no
+        violation-free labelling exists at all and strict stability is
+        unreachable.  On such topologies the measured quantity is therefore
+        the first time a sole, undisputed leader emerges from the
+        bullets-and-shields war, mirroring the Fischer-Jiang criterion.
+        """
+        leaders = [state for state in states if state.leader == 1]
+        if len(leaders) != 1:
+            return False
+        if leaders[0].shield == 1:
+            return True
+        return all(state.bullet != BULLET_LIVE for state in states)
+
 
 def _peaceful(states: Sequence[AngluinState], agent: int) -> bool:
     """Peacefulness of a live bullet (Section 4.1 predicate, label-agnostic)."""

@@ -1,14 +1,46 @@
-"""Population topologies: generic graphs, rings and complete graphs."""
+"""Population topologies: graphs, rings, complete graphs, tori, random-regular.
+
+Concrete families live in their own modules; :mod:`repro.topology.registry`
+maps names (``directed-ring``, ``undirected-ring``, ``complete``, ``torus``,
+``random-regular``) to parameterized factories so the experiment stack can
+select populations declaratively.
+"""
 
 from repro.topology.complete import CompleteGraph
 from repro.topology.graph import Arc, Population, population_from_edges
+from repro.topology.random_regular import RandomRegularGraph
+from repro.topology.registry import (
+    DEFAULT_TOPOLOGY,
+    TopologySpec,
+    build_topology,
+    get_topology_spec,
+    list_topologies,
+    parse_topology,
+    register_topology,
+    topology_names,
+    unregister_topology,
+    validate_topology,
+)
 from repro.topology.ring import DirectedRing, UndirectedRing
+from repro.topology.torus import Torus2D
 
 __all__ = [
     "Arc",
     "CompleteGraph",
+    "DEFAULT_TOPOLOGY",
     "DirectedRing",
     "Population",
+    "RandomRegularGraph",
+    "TopologySpec",
+    "Torus2D",
     "UndirectedRing",
+    "build_topology",
+    "get_topology_spec",
+    "list_topologies",
+    "parse_topology",
     "population_from_edges",
+    "register_topology",
+    "topology_names",
+    "unregister_topology",
+    "validate_topology",
 ]

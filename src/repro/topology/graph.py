@@ -11,7 +11,7 @@ by the paper.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.errors import InvalidParameterError, TopologyError
 from repro.core.rng import RandomSource
@@ -41,6 +41,12 @@ class Population:
         self._name = name
         arc_list: List[Arc] = []
         seen = set()
+        # The adjacency index: out-/in-neighbor lists in arc-enumeration
+        # order plus the arc set, built once here so has_arc / degree /
+        # out_neighbors / in_neighbors are O(1)-ish lookups instead of
+        # O(|E|) rescans of the arc list per query.
+        out_lists: List[List[int]] = [[] for _ in range(size)]
+        in_lists: List[List[int]] = [[] for _ in range(size)]
         for arc in arcs:
             initiator, responder = arc
             self._check_agent(initiator)
@@ -51,9 +57,14 @@ class Population:
                 raise TopologyError(f"duplicate arc {arc}")
             seen.add(arc)
             arc_list.append((initiator, responder))
+            out_lists[initiator].append(responder)
+            in_lists[responder].append(initiator)
         if not arc_list:
             raise TopologyError("a population needs at least one arc")
         self._arcs: Tuple[Arc, ...] = tuple(arc_list)
+        self._arc_set = seen
+        self._out_lists = out_lists
+        self._in_lists = in_lists
         self._check_weakly_connected()
 
     # ------------------------------------------------------------------ #
@@ -123,23 +134,31 @@ class Population:
         return range(self._size)
 
     def out_neighbors(self, agent: int) -> List[int]:
-        """Agents that ``agent`` can initiate an interaction with."""
+        """Agents that ``agent`` can initiate an interaction with.
+
+        Ordered by the arc enumeration; returns a copy, so callers may
+        mutate the result without corrupting the shared adjacency index.
+        """
         self._check_agent(agent)
-        return [responder for initiator, responder in self._arcs if initiator == agent]
+        return list(self._out_lists[agent])
 
     def in_neighbors(self, agent: int) -> List[int]:
-        """Agents that can initiate an interaction with ``agent``."""
+        """Agents that can initiate an interaction with ``agent``.
+
+        Ordered by the arc enumeration; returns a copy (see
+        :meth:`out_neighbors`).
+        """
         self._check_agent(agent)
-        return [initiator for initiator, responder in self._arcs if responder == agent]
+        return list(self._in_lists[agent])
 
     def degree(self, agent: int) -> int:
         """Number of arcs incident to ``agent`` in either direction."""
         self._check_agent(agent)
-        return sum(1 for arc in self._arcs if agent in arc)
+        return len(self._out_lists[agent]) + len(self._in_lists[agent])
 
     def has_arc(self, initiator: int, responder: int) -> bool:
         """True when ``(initiator, responder)`` is a possible interaction."""
-        return (initiator, responder) in set(self._arcs)
+        return (initiator, responder) in self._arc_set
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -149,15 +168,11 @@ class Population:
             raise TopologyError(f"agent index {agent} outside population of size {self._size}")
 
     def _check_weakly_connected(self) -> None:
-        adjacency: Dict[int, List[int]] = {agent: [] for agent in range(self._size)}
-        for initiator, responder in self._arcs:
-            adjacency[initiator].append(responder)
-            adjacency[responder].append(initiator)
         visited = {0}
         frontier = [0]
         while frontier:
             current = frontier.pop()
-            for neighbor in adjacency[current]:
+            for neighbor in self._out_lists[current] + self._in_lists[current]:
                 if neighbor not in visited:
                     visited.add(neighbor)
                     frontier.append(neighbor)

@@ -1,0 +1,137 @@
+"""Random regular populations.
+
+A random ``d``-regular graph is the classic expander-like substrate of the
+population-protocol literature between the two extremes the paper contrasts
+(the degree-2 ring and the degree-``n-1`` complete graph): constant degree,
+but logarithmic diameter and no global orientation.
+
+Construction is the *pairing (configuration) model* with Steger-Wormald
+style pair resampling: give every vertex ``d`` stubs, then repeatedly join
+two stubs drawn from the remaining pool through a seeded
+:class:`~repro.core.rng.RandomSource`, redrawing pairs that would create a
+self-loop or a parallel edge.  (Redrawing single pairs instead of rejecting
+whole pairings matters: the all-or-nothing scheme succeeds with probability
+``~exp(-(d^2-1)/4)`` per attempt, which is hopeless already at ``d = 6``.)
+An attempt whose leftover stubs cannot be joined legally, or whose graph
+comes out disconnected, is abandoned and resampled from its own derived
+sub-stream, so the construction is a pure function of
+``(size, degree, seed)``; ``max_attempts`` bounds the retry loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.core.errors import InvalidParameterError, TopologyError
+from repro.core.rng import RandomSource
+from repro.topology.graph import Arc, Population
+
+#: Consecutive illegal pair draws after which one attempt is abandoned (the
+#: stub pool is then almost surely saturated, e.g. only one vertex's stubs
+#: remain and every further draw would be a self-loop or parallel edge).
+_MAX_STALLED_DRAWS = 100
+
+
+def require_regular_parameters(size: int, degree: int = 4, seed: int = 0) -> None:
+    """Reject ``(size, degree)`` pairs no simple regular graph exists for
+    (shared with the registry validator so pre-run checks raise exactly like
+    the constructor, without paying for a pairing-model sample).  ``seed``
+    is accepted for signature parity; any integer is a valid seed."""
+    if size < 2:
+        raise InvalidParameterError(
+            f"a random regular graph needs at least 2 agents, got {size}"
+        )
+    if not 2 <= degree < size:
+        raise InvalidParameterError(
+            f"degree must be in [2, {size}) for {size} agents, got {degree}"
+        )
+    if size * degree % 2 != 0:
+        raise InvalidParameterError(
+            f"no {degree}-regular graph on {size} vertices exists "
+            f"(n*d = {size * degree} is odd)"
+        )
+
+
+class RandomRegularGraph(Population):
+    """Seeded random ``d``-regular population (both arcs per sampled edge)."""
+
+    def __init__(self, size: int, degree: int = 4, seed: int = 0,
+                 max_attempts: int = 100) -> None:
+        require_regular_parameters(size, degree, seed)
+        if max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        source = RandomSource(seed).spawn(f"random-regular-{size}-{degree}")
+        edges = None
+        for attempt in range(max_attempts):
+            candidate = _sample_regular_edges(size, degree,
+                                              source.spawn(f"attempt-{attempt}"))
+            if candidate is not None and _is_connected(size, candidate):
+                edges = candidate
+                break
+        if edges is None:
+            raise TopologyError(
+                f"could not sample a simple connected {degree}-regular graph "
+                f"on {size} vertices after {max_attempts} attempts "
+                f"(seed={seed})"
+            )
+        self._degree_parameter = degree
+        self._construction_seed = seed
+        arcs: List[Arc] = []
+        for u, v in sorted(edges):
+            arcs.append((u, v))
+            arcs.append((v, u))
+        super().__init__(size, arcs,
+                         name=f"random-regular(n={size},d={degree},seed={seed})")
+
+    @property
+    def regular_degree(self) -> int:
+        """The regularity parameter ``d`` (every agent has ``d`` neighbors)."""
+        return self._degree_parameter
+
+    @property
+    def construction_seed(self) -> int:
+        """The seed the pairing-model construction was derived from."""
+        return self._construction_seed
+
+
+def _sample_regular_edges(size: int, degree: int,
+                          rng: RandomSource) -> "Set[Tuple[int, int]] | None":
+    """One pairing-model attempt; ``None`` when the stub pool saturates."""
+    stubs = [vertex for vertex in range(size) for _ in range(degree)]
+    edges: Set[Tuple[int, int]] = set()
+    stalled = 0
+    while stubs:
+        first = rng.randrange(len(stubs))
+        second = rng.randrange(len(stubs))
+        u, v = stubs[first], stubs[second]
+        edge = (u, v) if u < v else (v, u)
+        if first == second or u == v or edge in edges:
+            stalled += 1
+            if stalled > _MAX_STALLED_DRAWS:
+                return None
+            continue
+        stalled = 0
+        edges.add(edge)
+        # Pop the higher index first so the lower one stays valid.
+        for position in sorted((first, second), reverse=True):
+            stubs[position] = stubs[-1]
+            stubs.pop()
+    return edges
+
+
+def _is_connected(size: int, edges: Set[Tuple[int, int]]) -> bool:
+    adjacency: List[List[int]] = [[] for _ in range(size)]
+    for u, v in edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    visited = {0}
+    frontier = [0]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in adjacency[current]:
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append(neighbor)
+    return len(visited) == size

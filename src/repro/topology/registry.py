@@ -1,0 +1,288 @@
+"""The :class:`TopologySpec` registry: every runnable population family, by name.
+
+The protocol registry (:mod:`repro.api.registry`) made protocols declarative;
+this module does the same for population graphs.  A :class:`TopologySpec`
+names one parameterized factory — ``directed-ring``, ``undirected-ring``,
+``complete``, ``torus``, ``random-regular`` — and :func:`build_topology`
+constructs a validated :class:`~repro.topology.graph.Population` from
+``(name, n, **params)``.  The experiment stack selects populations through
+this registry end-to-end: :class:`~repro.api.config.ExperimentConfig`
+carries ``(topology, topology_params)``, the trial executor rebuilds the
+population from them in every worker (so parallel runs are bit-identical to
+serial ones), the fluent builder exposes ``.on_torus()`` /
+``.on_complete()`` / ``.on_topology()``, and the CLI accepts
+``--topology name[:key=value,...]`` via :func:`parse_topology`.
+
+Registering a new topology is one :func:`register_topology` call; nothing in
+the executor, builder, or CLI needs editing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.core.errors import InvalidParameterError, TopologyError
+from repro.topology.complete import CompleteGraph
+from repro.topology.graph import Population
+from repro.topology.random_regular import RandomRegularGraph, require_regular_parameters
+from repro.topology.ring import DirectedRing, UndirectedRing
+from repro.topology.torus import Torus2D, require_torus_dimensions
+
+#: The topology every spec historically ran on; the default everywhere.
+DEFAULT_TOPOLOGY = "directed-ring"
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One named, parameterized population family."""
+
+    name: str
+    summary: str
+    #: ``factory(n, **params)`` -> Population; must validate its inputs and
+    #: raise InvalidParameterError/TopologyError with actionable messages.
+    factory: Callable[..., Population]
+    #: Accepted keyword parameters mapped to one-line descriptions.
+    params: Mapping[str, str] = field(default_factory=dict)
+    supported_note: str = "any population size n >= 2"
+    #: Optional ``validator(n, **params)`` that raises exactly when the
+    #: factory would, *without* constructing the population.  Families whose
+    #: construction does real work (random-regular's pairing-model sampling)
+    #: provide one so pre-run validation stays cheap; when absent,
+    #: :meth:`validate` falls back to building and discarding an instance.
+    validator: "Callable[..., None] | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("TopologySpec.name must be non-empty")
+
+    def require_params(self, params: Mapping[str, object]) -> None:
+        unknown = sorted(set(params) - set(self.params))
+        if unknown:
+            accepted = sorted(self.params) or ["<none>"]
+            raise TopologyError(
+                f"topology {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: {', '.join(accepted)}"
+            )
+
+    def validate(self, n: int, **params: object) -> None:
+        """Raise exactly when :meth:`build` would, without building."""
+        self.require_params(params)
+        if self.validator is not None:
+            self.validator(n, **params)
+        else:
+            self.factory(n, **params)
+
+    def build(self, n: int, **params: object) -> Population:
+        """Construct the population for ``n`` agents (validates ``params``)."""
+        self.require_params(params)
+        return self.factory(n, **params)
+
+
+# ---------------------------------------------------------------------- #
+# The registry
+# ---------------------------------------------------------------------- #
+_TOPOLOGIES: Dict[str, TopologySpec] = {}
+
+
+def register_topology(spec: TopologySpec, replace: bool = False) -> TopologySpec:
+    """Add a topology spec; ``replace=False`` rejects duplicates."""
+    if not replace and spec.name in _TOPOLOGIES:
+        raise ValueError(f"topology {spec.name!r} is already registered")
+    _TOPOLOGIES[spec.name] = spec
+    return spec
+
+
+def unregister_topology(name: str) -> None:
+    """Remove a topology spec (test hygiene; unknown names are ignored)."""
+    _TOPOLOGIES.pop(name, None)
+
+
+def get_topology_spec(name: str) -> TopologySpec:
+    """Look up a topology by name, with the known names in the error message.
+
+    Raises :class:`TopologyError` (a ``ValueError``) like every other
+    topology-layer validation, so callers handle one exception family.
+    """
+    try:
+        return _TOPOLOGIES[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology {name!r}; registered: {', '.join(topology_names())}"
+        ) from None
+
+
+def topology_names() -> List[str]:
+    """Registered topology names, sorted."""
+    return sorted(_TOPOLOGIES)
+
+
+def list_topologies() -> List[TopologySpec]:
+    """All registered topology specs, sorted by name."""
+    return [_TOPOLOGIES[name] for name in topology_names()]
+
+
+def build_topology(name: str, n: int, **params: object) -> Population:
+    """Construct a registered topology for ``n`` agents."""
+    return get_topology_spec(name).build(n, **params)
+
+
+def validate_topology(name: str, n: int, **params: object) -> None:
+    """Raise exactly when :func:`build_topology` would, without building.
+
+    The pre-run fail-fast hook for the CLI and the builder: name, parameter
+    names, and ``(n, params)`` feasibility are all checked, but nothing is
+    constructed — sampled families (random-regular) are only built once per
+    trial, in the worker.
+    """
+    get_topology_spec(name).validate(n, **params)
+
+
+def parse_topology(text: str) -> Tuple[str, Dict[str, int]]:
+    """Parse the CLI spelling ``name[:key=value,...]`` (values are integers).
+
+    >>> parse_topology("torus:width=4,height=3")
+    ('torus', {'width': 4, 'height': 3})
+
+    Only syntax is validated here; the name and parameter names are checked
+    against the registry by :func:`build_topology` so the error can list what
+    is actually registered.
+    """
+    name, _, raw_params = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise TopologyError(f"empty topology name in {text!r}")
+    params: Dict[str, int] = {}
+    if raw_params.strip():
+        for part in raw_params.split(","):
+            key, separator, value = part.partition("=")
+            key = key.strip()
+            if not separator or not key:
+                raise TopologyError(
+                    f"malformed topology parameter {part!r} in {text!r} "
+                    "(expected key=value)"
+                )
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise TopologyError(
+                    f"topology parameter {key!r} must be an integer, "
+                    f"got {value.strip()!r}"
+                ) from None
+    return name, params
+
+
+# ---------------------------------------------------------------------- #
+# Built-in topologies
+# ---------------------------------------------------------------------- #
+def _minimum_size_validator(minimum: int, message: str) -> Callable[[int], None]:
+    """A construction-free validator for families whose only constraint is a
+    minimum size; ``message`` mirrors the constructor's error wording."""
+
+    def validator(n: int) -> None:
+        if n < minimum:
+            raise InvalidParameterError(message.format(n=n))
+
+    return validator
+
+
+def _torus_dimensions(n: int, width: "int | None",
+                      height: "int | None") -> Tuple[int, int]:
+    """Resolve ``(width, height)`` for ``n`` agents.
+
+    With neither dimension given, the most-square factorization with both
+    factors >= 3 is chosen; with one given, the other is ``n`` divided by it;
+    with both given, their product must be ``n``.
+    """
+    if width is None and height is None:
+        for candidate in range(math.isqrt(n), 2, -1):
+            if n % candidate == 0 and n // candidate >= 3:
+                return candidate, n // candidate
+        raise TopologyError(
+            f"n={n} has no torus factorization with both dimensions >= 3; "
+            "choose n = width*height (e.g. 9, 12, 15, 16) or pass explicit "
+            "torus:width=...,height=... parameters"
+        )
+    if width is None:
+        width = _exact_quotient(n, height, "height")
+    elif height is None:
+        height = _exact_quotient(n, width, "width")
+    if width * height != n:
+        raise TopologyError(
+            f"torus dimensions {width}x{height} do not match n={n} "
+            f"(need width*height == n)"
+        )
+    return width, height
+
+
+def _exact_quotient(n: int, divisor: int, label: str) -> int:
+    if divisor < 1 or n % divisor != 0:
+        raise TopologyError(
+            f"torus {label}={divisor} does not divide n={n}"
+        )
+    return n // divisor
+
+
+def _torus_factory(n: int, width: "int | None" = None,
+                   height: "int | None" = None) -> Torus2D:
+    resolved_width, resolved_height = _torus_dimensions(n, width, height)
+    return Torus2D(resolved_width, resolved_height)
+
+
+def _torus_validator(n: int, width: "int | None" = None,
+                     height: "int | None" = None) -> None:
+    require_torus_dimensions(*_torus_dimensions(n, width, height))
+
+
+def _register_builtin_topologies() -> None:
+    register_topology(TopologySpec(
+        name="directed-ring",
+        summary="the paper's model: u_0 -> u_1 -> ... -> u_{n-1} -> u_0",
+        factory=DirectedRing,
+        validator=_minimum_size_validator(
+            2, "a ring needs at least 2 agents, got {n}"),
+        supported_note="any ring size n >= 2",
+    ))
+    register_topology(TopologySpec(
+        name="undirected-ring",
+        summary="ring with both arc directions (the Section-5 substrate)",
+        factory=UndirectedRing,
+        validator=_minimum_size_validator(
+            3, "an undirected ring needs at least 3 agents to be simple, got {n}"),
+        supported_note="ring sizes n >= 3",
+    ))
+    register_topology(TopologySpec(
+        name="complete",
+        summary="every ordered pair interacts (the SS-LE literature's default)",
+        factory=CompleteGraph,
+        validator=_minimum_size_validator(
+            2, "a complete graph needs at least 2 agents, got {n}"),
+        supported_note="any population size n >= 2",
+    ))
+    register_topology(TopologySpec(
+        name="torus",
+        summary="2D wraparound grid, both arc directions per lattice edge",
+        factory=_torus_factory,
+        validator=_torus_validator,
+        params={
+            "width": "number of columns (default: most-square factor of n)",
+            "height": "number of rows (default: n divided by the width)",
+        },
+        supported_note="n = width*height with both dimensions >= 3",
+    ))
+    register_topology(TopologySpec(
+        name="random-regular",
+        summary="seeded pairing-model random d-regular graph, both arc "
+                "directions per sampled edge",
+        params={
+            "degree": "regularity d, 2 <= d < n with n*d even (default: 4)",
+            "seed": "construction seed of the pairing model (default: 0)",
+        },
+        factory=RandomRegularGraph,
+        validator=require_regular_parameters,
+        supported_note="2 <= degree < n with n*degree even",
+    ))
+
+
+_register_builtin_topologies()

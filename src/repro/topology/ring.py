@@ -41,9 +41,24 @@ class DirectedRing(Population):
         """Index of ``u_{agent+1 mod n}``."""
         return (agent + 1) % self.size
 
-    def arc_by_index(self, index: int) -> Arc:
-        """The paper's interaction ``e_index = (u_index, u_{index+1})``."""
+    def arc_e(self, index: int) -> Arc:
+        """The paper's interaction ``e_index = (u_{index mod n}, u_{index+1 mod n})``.
+
+        The paper indexes arcs modularly (``e_{i+n} = e_i``), which the
+        ``seq_R``/``seq_L`` sweep builders rely on.  This helper carries that
+        notation; :meth:`arc_by_index` keeps the strict
+        :class:`~repro.topology.graph.Population` contract of rejecting
+        indices outside ``[0, num_arcs)``.
+        """
         return (index % self.size, (index + 1) % self.size)
+
+    def arc_by_index(self, index: int) -> Arc:
+        """Closed-form arc lookup honouring the base-class range contract."""
+        if not 0 <= index < self.size:
+            raise TopologyError(
+                f"arc index {index} outside [0, {self.size}) for {self.name!r}"
+            )
+        return self.arc_e(index)
 
     def arc_index(self, arc: Arc) -> int:
         """Inverse of :meth:`arc_by_index`."""

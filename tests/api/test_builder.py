@@ -14,6 +14,8 @@ def test_builder_defaults_match_experiment_config():
     assert settings == {
         "spec": "ppl",
         "population_size": 16,
+        "topology": ExperimentConfig.topology,
+        "topology_params": {},
         "family": "adversarial",
         "trials": ExperimentConfig.trials,
         "seed": ExperimentConfig.seed,

@@ -1,0 +1,193 @@
+"""End-to-end topology wiring: config -> spec -> executor -> builder.
+
+The acceptance properties of the topology subsystem: any registered
+topology is selectable through ``ExperimentConfig``/the builder with
+deterministic results (same seed => same steps; serial == parallel, i.e.
+worker processes rebuild identical populations), both engines agree on
+non-ring topologies, and ring-only protocols fail fast with a clear
+unsupported-topology error instead of running a meaningless experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.api import (
+    ExperimentConfig,
+    execute_trial,
+    experiment,
+    get_spec,
+    run_spec,
+    run_trials,
+    trial_tasks,
+)
+from repro.api.config import freeze_topology_params
+from repro.core.errors import TopologyError
+from repro.topology import CompleteGraph, DirectedRing, Torus2D
+
+TINY = ExperimentConfig(trials=2, max_steps=600_000, check_interval=32,
+                        kappa_factor=4, seed=99)
+
+
+# ---------------------------------------------------------------------- #
+# Spec-level validation
+# ---------------------------------------------------------------------- #
+def test_ring_only_protocols_reject_other_topologies():
+    for name in ("ppl", "yokota2021"):
+        spec = get_spec(name)
+        spec.require_topology("directed-ring")  # the default passes
+        with pytest.raises(ValueError, match="does not support topology"):
+            spec.require_topology("complete")
+
+
+def test_any_topology_protocols_accept_all_registered_names():
+    for name in ("fischer-jiang", "angluin-modk"):
+        spec = get_spec(name)
+        for topology in ("directed-ring", "complete", "torus", "random-regular"):
+            spec.require_topology(topology)
+
+
+def test_require_topology_rejects_unknown_names_with_the_known_list():
+    with pytest.raises(TopologyError, match="registered"):
+        get_spec("fischer-jiang").require_topology("hypercube")
+
+
+def test_run_spec_fails_fast_on_unsupported_topology():
+    config = replace(TINY, topology="complete")
+    with pytest.raises(ValueError, match="does not support topology"):
+        run_spec("ppl", 8, config)
+
+
+def test_run_spec_fails_fast_on_invalid_topology_size():
+    config = replace(TINY, topology="torus")
+    with pytest.raises(TopologyError, match="factorization"):
+        run_spec("fischer-jiang", 10, config)  # 10 has no >=3x>=3 torus
+
+
+def test_build_population_honours_the_config():
+    spec = get_spec("fischer-jiang")
+    assert isinstance(spec.build_population(8), DirectedRing)
+    assert isinstance(
+        spec.build_population(8, replace(TINY, topology="complete")),
+        CompleteGraph,
+    )
+    torus = spec.build_population(
+        12, replace(TINY, topology="torus",
+                    topology_params=freeze_topology_params({"width": 4})),
+    )
+    assert isinstance(torus, Torus2D)
+    assert (torus.width, torus.height) == (4, 3)
+
+
+# ---------------------------------------------------------------------- #
+# Topology-aware stop predicates
+# ---------------------------------------------------------------------- #
+def test_angluin_predicate_is_strict_on_rings_and_relaxed_elsewhere():
+    spec = get_spec("angluin-modk")
+    protocol = spec.build_protocol(9, TINY)
+    ring_predicate = spec.build_stop_predicate(protocol, DirectedRing(9))
+    torus_predicate = spec.build_stop_predicate(protocol, Torus2D(3, 3))
+    assert ring_predicate == protocol.is_stable
+    assert torus_predicate == protocol.has_undisputed_leader
+
+
+def test_single_argument_predicate_factories_still_work():
+    """Specs registered before the population-aware contract (one-parameter
+    factories) must keep working unchanged."""
+    spec = get_spec("yokota2021")
+    protocol = spec.build_protocol(8, TINY)
+    predicate = spec.build_stop_predicate(protocol, DirectedRing(8))
+    assert predicate == protocol.is_stable
+
+
+# ---------------------------------------------------------------------- #
+# Determinism across serial/parallel and engines
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("name,n,topology,params", [
+    ("fischer-jiang", 8, "complete", {}),
+    ("fischer-jiang", 12, "torus", {}),
+    ("angluin-modk", 9, "torus", {}),
+    ("angluin-modk", 9, "random-regular", {"degree": 4, "seed": 7}),
+])
+def test_serial_and_parallel_trials_agree_on_every_topology(name, n, topology, params):
+    config = replace(TINY, topology=topology,
+                     topology_params=freeze_topology_params(params))
+    tasks = trial_tasks(name, n, config, "adversarial",
+                        rng_label=get_spec(name).rng_label)
+    serial = run_trials(tasks)
+    parallel = run_trials(tasks, workers=2)
+    assert [t.steps for t in serial] == [t.steps for t in parallel]
+    assert [t.converged for t in serial] == [t.converged for t in parallel]
+    assert all(t.converged for t in serial)
+    # Same seed => same steps on a repeat run.
+    repeat = run_trials(trial_tasks(name, n, config, "adversarial",
+                                    rng_label=get_spec(name).rng_label))
+    assert [t.steps for t in serial] == [t.steps for t in repeat]
+
+
+def test_engines_agree_on_non_ring_topologies():
+    config = replace(TINY, topology="torus")
+    step = run_spec("angluin-modk", 9, config, engine="step")
+    batched = run_spec("angluin-modk", 9, config, engine="batched")
+    assert step.steps == batched.steps
+    assert step.failures == batched.failures == 0
+
+
+def test_trial_results_report_the_protocol_display_name():
+    config = replace(TINY, topology="complete")
+    task = trial_tasks("fischer-jiang", 8, config, "adversarial",
+                       rng_label="fj")[0]
+    outcome = execute_trial(task)
+    assert outcome.protocol_name == "FischerJiang(oracle)"
+
+
+# ---------------------------------------------------------------------- #
+# Builder surface
+# ---------------------------------------------------------------------- #
+def test_builder_on_complete_runs_and_reports_the_topology():
+    result = (experiment("fischer-jiang").on_complete(8).trials(2).seed(3)
+              .max_steps(600_000).check_interval(32).run())
+    assert result.topology == "complete"
+    assert result.all_converged
+    assert result.to_dict()["topology"] == "complete"
+
+
+def test_builder_on_torus_sets_size_and_params():
+    builder = experiment("angluin-modk").on_torus(3, 3)
+    described = builder.describe()
+    assert described["population_size"] == 9
+    assert described["topology"] == "torus"
+    assert described["topology_params"] == {"width": 3, "height": 3}
+    result = builder.trials(1).seed(5).max_steps(2_000_000).check_interval(32).run()
+    assert result.all_converged
+    assert result.topology_params == (("height", 3), ("width", 3))
+
+
+def test_builder_on_topology_matches_run_spec_bit_for_bit():
+    config = replace(TINY, topology="complete")
+    built = (experiment("fischer-jiang").on_topology("complete", 8).trials(2)
+             .seed(TINY.seed).max_steps(TINY.max_steps)
+             .check_interval(TINY.check_interval).run())
+    reference = run_spec("fischer-jiang", 8, config)
+    assert built.steps == reference.steps
+
+
+def test_builder_validates_topology_eagerly():
+    with pytest.raises(ValueError, match="does not support topology"):
+        experiment("ppl").on_complete(8)
+    with pytest.raises(ValueError, match="does not support topology"):
+        experiment("yokota2021").on_torus(3, 3)
+    with pytest.raises(TopologyError, match="factorization"):
+        experiment("fischer-jiang").on_topology("torus", 10)
+    with pytest.raises(TopologyError, match="registered"):
+        experiment("fischer-jiang").on_topology("hypercube", 8)
+    with pytest.raises(ValueError, match="does not support n="):
+        experiment("angluin-modk").on_torus(3, 4)  # n=12 divisible by k=2
+
+
+def test_builder_on_ring_still_pins_the_directed_ring():
+    described = experiment("ppl").on_ring(8).describe()
+    assert described["topology"] == "directed-ring"
+    assert described["topology_params"] == {}

@@ -86,7 +86,7 @@ def test_batched_engine_matches_step_engine_from_the_same_seed(name):
 
 def test_run_until_semantics_match_the_step_engine():
     spec, protocol, population, initial = _trial_ingredients("angluin-modk")
-    predicate = spec.stop_predicate(protocol)
+    predicate = spec.build_stop_predicate(protocol, population)
     step_run = Simulation(protocol, population, initial, rng=5).run_until(
         predicate, max_steps=400_000, check_interval=64
     )

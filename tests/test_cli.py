@@ -115,8 +115,10 @@ def test_run_json_schema_fields(capsys):
     assert result["seed"] == 5
     assert len(result["trials"]) == 2
     for trial in result["trials"]:
-        assert set(trial) == {"trial", "steps", "converged", "wall_time", "engine"}
+        assert set(trial) == {"trial", "steps", "converged", "wall_time",
+                              "engine", "protocol_name"}
         assert trial["engine"] == "step"  # P_PL's state space falls back
+        assert trial["protocol_name"].startswith("P_PL")
 
 
 def test_run_engine_flag_selects_the_batched_engine(capsys):
@@ -209,6 +211,113 @@ def test_scaling_requires_two_sizes(capsys):
     with pytest.raises(SystemExit):
         main(["scaling", "--sizes", "8", "--trials", "1"])
     assert "at least two ring sizes" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
+# --topology
+# ---------------------------------------------------------------------- #
+def test_run_on_complete_topology_converges(capsys):
+    """Acceptance: `run fischer-jiang --topology complete` converges."""
+    assert main(["run", "fischer-jiang", "--topology", "complete",
+                 "--sizes", "8", "--trials", "2", "--max-steps", "600000",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    result = payload["results"][0]
+    assert result["topology"] == "complete"
+    assert result["all_converged"] is True
+
+
+def test_run_on_torus_topology_converges(capsys):
+    """Acceptance: `run angluin-modk --topology torus` converges."""
+    assert main(["run", "angluin-modk", "--topology", "torus",
+                 "--sizes", "9", "--trials", "2", "--max-steps", "2000000",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    result = payload["results"][0]
+    assert result["topology"] == "torus"
+    assert result["all_converged"] is True
+
+
+def test_run_topology_is_deterministic_per_seed(capsys):
+    outcomes = []
+    for _ in range(2):
+        assert main(["run", "fischer-jiang", "--topology", "complete",
+                     "--sizes", "8", "--trials", "2", "--seed", "7",
+                     "--max-steps", "600000", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        outcomes.append([trial["steps"]
+                         for trial in payload["results"][0]["trials"]])
+    assert outcomes[0] == outcomes[1]
+
+
+def test_run_accepts_topology_parameters(capsys):
+    assert main(["run", "fischer-jiang", "--topology",
+                 "random-regular:degree=3,seed=5", "--sizes", "8",
+                 "--trials", "1", "--max-steps", "600000",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    result = payload["results"][0]
+    assert result["topology"] == "random-regular"
+    assert result["topology_params"] == {"degree": 3, "seed": 5}
+    assert result["all_converged"] is True
+
+
+def test_run_ring_only_protocol_rejects_other_topologies(capsys):
+    """Acceptance: `run ppl --topology complete` fails fast and clearly."""
+    with pytest.raises(SystemExit):
+        main(["run", "ppl", "--topology", "complete", "--sizes", "8"])
+    assert "does not support topology" in capsys.readouterr().err
+
+
+def test_run_unknown_topology_is_a_clean_error(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fischer-jiang", "--topology", "hypercube", "--sizes", "8"])
+    assert "registered" in capsys.readouterr().err
+
+
+def test_run_invalid_topology_size_is_a_clean_error(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fischer-jiang", "--topology", "torus", "--sizes", "10"])
+    assert "factorization" in capsys.readouterr().err
+
+
+def test_run_malformed_topology_parameters_are_a_clean_error(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fischer-jiang", "--topology", "torus:width",
+              "--sizes", "9"])
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_run_rejects_topology_flag_on_analytic_specs(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "chen-chen", "--sizes", "8", "--topology", "complete"])
+    assert "--topology does not apply" in capsys.readouterr().err
+
+
+def test_scaling_rejects_non_ring_topologies(capsys):
+    with pytest.raises(SystemExit):
+        main(["scaling", "--sizes", "8,16", "--trials", "1",
+              "--topology", "complete"])
+    assert "does not support topology" in capsys.readouterr().err
+
+
+def test_scaling_rejects_bad_topology_parameters_cleanly(capsys):
+    """Regression: a supported topology name with bogus parameters passed
+    scaling's name-only check and surfaced as a raw TopologyError traceback
+    mid-command instead of a usage error."""
+    with pytest.raises(SystemExit):
+        main(["scaling", "--sizes", "8,16", "--trials", "1",
+              "--topology", "directed-ring:bogus=1"])
+    assert "does not accept parameter" in capsys.readouterr().err
+
+
+def test_list_reports_supported_topologies(capsys):
+    assert main(["list", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    by_name = {entry["name"]: entry for entry in payload["protocols"]}
+    assert by_name["ppl"]["topologies"] == ["directed-ring"]
+    assert by_name["fischer-jiang"]["topologies"] == "any"
+    assert by_name["chen-chen"]["topologies"] is None
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,129 @@
+"""The Population contract, asserted for every registered topology.
+
+Every population family reachable through the topology registry — explicit
+arc lists and closed-form implicit ones alike — must honour the same
+:class:`~repro.topology.graph.Population` contract: strict ``arc_by_index``
+range checking, agreement between ``num_arcs``/``arcs``/``arc_by_index``,
+weak connectivity, adjacency queries consistent with the arc enumeration,
+and ``sample_arc`` consuming the random stream exactly like indexing an
+explicit arc list (the property that makes engine/scheduler results
+independent of how a population stores its arcs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.rng import RandomSource
+from repro.topology.registry import build_topology, topology_names
+
+#: One small, valid (n, params) instance per registered topology.  A newly
+#: registered topology must be added here — the completeness test below
+#: fails otherwise, so the contract suite can never silently skip one.
+INSTANCES = {
+    "directed-ring": (8, {}),
+    "undirected-ring": (8, {}),
+    "complete": (8, {}),
+    "torus": (12, {}),
+    "random-regular": (10, {"degree": 3, "seed": 7}),
+}
+
+
+def _population(name):
+    n, params = INSTANCES[name]
+    return build_topology(name, n, **params)
+
+
+def test_every_registered_topology_is_covered():
+    assert sorted(INSTANCES) == topology_names()
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_arc_enumeration_is_consistent(name):
+    population = _population(name)
+    arcs = population.arcs
+    assert population.num_arcs == len(arcs)
+    assert [population.arc_by_index(k) for k in range(population.num_arcs)] \
+        == list(arcs)
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_arcs_are_simple_and_in_range(name):
+    population = _population(name)
+    seen = set()
+    for initiator, responder in population.arcs:
+        assert 0 <= initiator < population.size
+        assert 0 <= responder < population.size
+        assert initiator != responder
+        assert (initiator, responder) not in seen
+        seen.add((initiator, responder))
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_arc_by_index_rejects_out_of_range_indices(name):
+    population = _population(name)
+    for bad in (-1, population.num_arcs, population.num_arcs + 10):
+        with pytest.raises(TopologyError):
+            population.arc_by_index(bad)
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_weak_connectivity(name):
+    population = _population(name)
+    adjacency = {agent: set() for agent in population.agents()}
+    for initiator, responder in population.arcs:
+        adjacency[initiator].add(responder)
+        adjacency[responder].add(initiator)
+    visited = {0}
+    frontier = [0]
+    while frontier:
+        for neighbor in adjacency[frontier.pop()]:
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append(neighbor)
+    assert len(visited) == population.size
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_adjacency_queries_match_the_arc_enumeration(name):
+    population = _population(name)
+    arcs = list(population.arcs)
+    for agent in population.agents():
+        out_reference = [v for u, v in arcs if u == agent]
+        in_reference = [u for u, v in arcs if v == agent]
+        assert population.out_neighbors(agent) == out_reference
+        assert population.in_neighbors(agent) == in_reference
+        assert population.degree(agent) == len(out_reference) + len(in_reference)
+    for initiator in population.agents():
+        for responder in population.agents():
+            assert population.has_arc(initiator, responder) == \
+                ((initiator, responder) in set(arcs))
+    assert not population.has_arc(0, population.size)
+    assert not population.has_arc(population.size, 0)
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_sample_arc_is_stream_identical_to_explicit_indexing(name):
+    """One randrange(num_arcs) per draw, same arcs as indexing the list —
+    the invariant that lets lazy populations replace explicit ones without
+    perturbing any seeded experiment."""
+    population = _population(name)
+    sampled_rng = RandomSource(23)
+    sampled = [population.sample_arc(sampled_rng) for _ in range(300)]
+    reference_rng = RandomSource(23)
+    arcs = population.arcs
+    expected = [arcs[reference_rng.randrange(population.num_arcs)]
+                for _ in range(300)]
+    assert sampled == expected
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_neighbor_queries_reject_bad_agent_indices(name):
+    population = _population(name)
+    for query in (population.out_neighbors, population.in_neighbors,
+                  population.degree):
+        with pytest.raises(TopologyError):
+            query(population.size)
+        with pytest.raises(TopologyError):
+            query(-1)

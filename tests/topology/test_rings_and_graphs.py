@@ -52,6 +52,31 @@ def test_agent_index_bounds_are_checked():
         population.out_neighbors(5)
 
 
+def test_adjacency_index_matches_arc_list_scans():
+    """The cached adjacency index (has_arc used to rebuild set(arcs) per
+    call) must agree with a fresh scan of the arc list."""
+    arcs = [(0, 1), (1, 2), (2, 0), (0, 2), (3, 0)]
+    population = Population(4, arcs)
+    for agent in population.agents():
+        assert population.out_neighbors(agent) == \
+            [v for u, v in arcs if u == agent]
+        assert population.in_neighbors(agent) == \
+            [u for u, v in arcs if v == agent]
+        assert population.degree(agent) == \
+            sum(1 for arc in arcs if agent in arc)
+    for u in range(4):
+        for v in range(4):
+            assert population.has_arc(u, v) == ((u, v) in arcs)
+
+
+def test_neighbor_lists_are_copies_of_the_index():
+    population = Population(3, [(0, 1), (1, 2), (2, 0)])
+    population.out_neighbors(0).append(99)
+    assert population.out_neighbors(0) == [1]
+    population.in_neighbors(0).append(99)
+    assert population.in_neighbors(0) == [2]
+
+
 # ---------------------------------------------------------------------- #
 # Directed rings
 # ---------------------------------------------------------------------- #
@@ -70,6 +95,25 @@ def test_directed_ring_structure(n):
 def test_directed_ring_rejects_singleton():
     with pytest.raises(InvalidParameterError):
         DirectedRing(1)
+
+
+@given(st.integers(min_value=2, max_value=32), st.integers(min_value=-70, max_value=70))
+def test_arc_e_carries_the_papers_modular_notation(n, index):
+    ring = DirectedRing(n)
+    assert ring.arc_e(index) == (index % n, (index + 1) % n)
+    assert ring.arc_e(index) == ring.arc_e(index + n)
+
+
+def test_directed_ring_arc_by_index_rejects_out_of_range_indices():
+    """Regression: arc_by_index silently wrapped any index modulo n,
+    violating the Population contract (the base class and CompleteGraph
+    both raise); the modular notation lives in arc_e now."""
+    ring = DirectedRing(5)
+    with pytest.raises(TopologyError):
+        ring.arc_by_index(5)
+    with pytest.raises(TopologyError):
+        ring.arc_by_index(-1)
+    assert ring.arc_e(5) == ring.arc_by_index(0)  # the wrapping helper
 
 
 def test_arc_index_rejects_non_arcs():

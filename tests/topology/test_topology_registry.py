@@ -1,0 +1,164 @@
+"""Tests for the declarative topology registry and its CLI-facing parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology import (
+    CompleteGraph,
+    DirectedRing,
+    RandomRegularGraph,
+    Torus2D,
+    TopologySpec,
+    UndirectedRing,
+    build_topology,
+    get_topology_spec,
+    list_topologies,
+    parse_topology,
+    register_topology,
+    topology_names,
+    unregister_topology,
+    validate_topology,
+)
+
+BUILTIN = ["complete", "directed-ring", "random-regular", "torus",
+           "undirected-ring"]
+
+
+def test_builtin_topologies_are_registered():
+    assert topology_names() == BUILTIN
+    assert [spec.name for spec in list_topologies()] == BUILTIN
+
+
+def test_get_topology_spec_unknown_name_lists_known_names():
+    """Unknown names raise TopologyError like every other topology-layer
+    validation (one exception family for callers), with the known names."""
+    with pytest.raises(TopologyError, match="registered"):
+        get_topology_spec("no-such-topology")
+
+
+def test_validate_topology_raises_exactly_when_build_would():
+    validate_topology("torus", 12, width=4)  # feasible: no error, no build
+    validate_topology("random-regular", 10, degree=3, seed=5)
+    cases = [
+        ("no-such-topology", 8, {}),
+        ("directed-ring", 8, {"width": 4}),     # unknown parameter
+        ("directed-ring", 1, {}),                # below minimum size
+        ("undirected-ring", 2, {}),              # below minimum size
+        ("complete", 1, {}),                     # below minimum size
+        ("torus", 10, {}),                       # no >=3x>=3 factorization
+        ("torus", 12, {"width": 5}),             # does not divide n
+        ("random-regular", 9, {"degree": 3}),    # n*d odd
+        ("random-regular", 8, {"degree": 8}),    # degree >= n
+    ]
+    for name, n, params in cases:
+        with pytest.raises(ValueError):
+            validate_topology(name, n, **params)
+        with pytest.raises(ValueError):
+            build_topology(name, n, **params)
+
+
+def test_every_builtin_topology_validates_without_construction():
+    """The pre-run feasibility check must never build a population: every
+    built-in spec declares a construction-free validator (the build-to-
+    validate fallback exists only for minimal custom registrations)."""
+    for spec in list_topologies():
+        assert spec.validator is not None, spec.name
+
+
+def test_build_topology_constructs_the_right_classes():
+    assert isinstance(build_topology("directed-ring", 8), DirectedRing)
+    assert isinstance(build_topology("undirected-ring", 8), UndirectedRing)
+    assert isinstance(build_topology("complete", 8), CompleteGraph)
+    assert isinstance(build_topology("torus", 12), Torus2D)
+    assert isinstance(build_topology("random-regular", 10), RandomRegularGraph)
+
+
+def test_build_topology_rejects_unknown_parameters():
+    with pytest.raises(TopologyError, match="does not accept"):
+        build_topology("directed-ring", 8, width=4)
+    with pytest.raises(TopologyError, match="does not accept"):
+        build_topology("torus", 12, diameter=4)
+
+
+def test_torus_default_dimensions_are_most_square():
+    assert (build_topology("torus", 12).width,
+            build_topology("torus", 12).height) == (3, 4)
+    assert (build_topology("torus", 16).width,
+            build_topology("torus", 16).height) == (4, 4)
+    assert (build_topology("torus", 36).width,
+            build_topology("torus", 36).height) == (6, 6)
+
+
+def test_torus_explicit_dimensions():
+    torus = build_topology("torus", 12, width=4, height=3)
+    assert (torus.width, torus.height) == (4, 3)
+    half = build_topology("torus", 12, height=3)
+    assert (half.width, half.height) == (4, 3)
+
+
+def test_torus_dimension_errors_are_clear():
+    with pytest.raises(TopologyError, match="factorization"):
+        build_topology("torus", 10)  # 2x5 only: no factor pair >= 3
+    with pytest.raises(TopologyError, match="do not match n"):
+        build_topology("torus", 12, width=4, height=4)
+    with pytest.raises(TopologyError, match="does not divide"):
+        build_topology("torus", 12, width=5)
+
+
+def test_random_regular_accepts_degree_and_seed():
+    graph = build_topology("random-regular", 12, degree=3, seed=5)
+    assert graph.regular_degree == 3
+    assert graph.construction_seed == 5
+
+
+def test_register_and_unregister_custom_topology():
+    spec = TopologySpec(
+        name="test-double-ring",
+        summary="a registered-at-runtime topology used by this test",
+        factory=lambda n: DirectedRing(n),
+    )
+    register_topology(spec)
+    try:
+        assert "test-double-ring" in topology_names()
+        with pytest.raises(ValueError, match="already registered"):
+            register_topology(spec)
+        assert isinstance(build_topology("test-double-ring", 6), DirectedRing)
+    finally:
+        unregister_topology("test-double-ring")
+    assert "test-double-ring" not in topology_names()
+
+
+def test_topology_spec_requires_a_name():
+    with pytest.raises(ValueError):
+        TopologySpec(name="", summary="x", factory=DirectedRing)
+
+
+# ---------------------------------------------------------------------- #
+# parse_topology (the CLI spelling)
+# ---------------------------------------------------------------------- #
+def test_parse_topology_plain_name():
+    assert parse_topology("complete") == ("complete", {})
+
+
+def test_parse_topology_with_parameters():
+    assert parse_topology("torus:width=4,height=3") == \
+        ("torus", {"width": 4, "height": 3})
+    assert parse_topology("random-regular:degree=4,seed=7") == \
+        ("random-regular", {"degree": 4, "seed": 7})
+
+
+def test_parse_topology_rejects_malformed_input():
+    with pytest.raises(TopologyError, match="empty topology name"):
+        parse_topology(":width=4")
+    with pytest.raises(TopologyError, match="key=value"):
+        parse_topology("torus:width")
+    with pytest.raises(TopologyError, match="integer"):
+        parse_topology("torus:width=four")
+
+
+def test_parse_topology_roundtrips_through_build():
+    name, params = parse_topology("torus:width=3,height=4")
+    torus = build_topology(name, 12, **params)
+    assert (torus.width, torus.height) == (3, 4)

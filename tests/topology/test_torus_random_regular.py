@@ -1,0 +1,131 @@
+"""Tests for the Torus2D and RandomRegularGraph population families."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import InvalidParameterError, TopologyError
+from repro.core.rng import RandomSource
+from repro.core.scheduler import UniformRandomScheduler
+from repro.topology.random_regular import RandomRegularGraph
+from repro.topology.torus import Torus2D
+
+
+# ---------------------------------------------------------------------- #
+# Torus2D
+# ---------------------------------------------------------------------- #
+@given(st.integers(min_value=3, max_value=7), st.integers(min_value=3, max_value=7))
+def test_torus_structure(width, height):
+    torus = Torus2D(width, height)
+    n = width * height
+    assert torus.size == n
+    assert torus.num_arcs == 4 * n
+    assert torus.width == width and torus.height == height
+    for agent in range(n):
+        row, column = torus.coordinates(agent)
+        assert torus.agent_at(row, column) == agent
+        neighbors = {
+            torus.agent_at(row, column + 1),
+            torus.agent_at(row, column - 1),
+            torus.agent_at(row + 1, column),
+            torus.agent_at(row - 1, column),
+        }
+        assert len(neighbors) == 4
+        assert set(torus.out_neighbors(agent)) == neighbors
+        assert set(torus.in_neighbors(agent)) == neighbors
+        assert torus.degree(agent) == 8
+
+
+def test_torus_has_arc_only_for_lattice_neighbors():
+    torus = Torus2D(4, 3)
+    assert torus.has_arc(0, 1)          # right
+    assert torus.has_arc(0, 3)          # left, wrapped
+    assert torus.has_arc(0, 4)          # down
+    assert torus.has_arc(0, 8)          # up, wrapped
+    assert not torus.has_arc(0, 5)      # diagonal
+    assert not torus.has_arc(0, 0)      # self
+    assert not torus.has_arc(0, 12)     # out of range
+    assert not torus.has_arc(-1, 0)
+
+
+def test_torus_wraparound_is_symmetric():
+    torus = Torus2D(3, 5)
+    for initiator, responder in torus.arcs:
+        assert torus.has_arc(responder, initiator)
+
+
+def test_torus_rejects_degenerate_dimensions():
+    for width, height in ((2, 3), (3, 2), (1, 9), (0, 3)):
+        with pytest.raises(InvalidParameterError):
+            Torus2D(width, height)
+
+
+def test_torus_is_lazy_at_scale():
+    """Scheduling a large torus must never materialize its 4n-arc list."""
+    torus = Torus2D(100, 100)
+    assert torus.num_arcs == 40_000
+    assert not torus.has_materialized_arcs
+    scheduler = UniformRandomScheduler(torus, rng=5)
+    drawn = [scheduler.next_arc() for _ in range(200)]
+    reference = RandomSource(5)
+    assert drawn == [torus.arc_by_index(reference.randrange(torus.num_arcs))
+                     for _ in range(200)]
+    assert not torus.has_materialized_arcs
+    with pytest.raises(TopologyError):
+        torus.arc_by_index(torus.num_arcs)
+
+
+# ---------------------------------------------------------------------- #
+# RandomRegularGraph
+# ---------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=5, max_value=24), st.integers(min_value=2, max_value=6))
+def test_random_regular_is_regular_simple_and_connected(n, degree):
+    if n * degree % 2 != 0 or degree >= n:
+        with pytest.raises(InvalidParameterError):
+            RandomRegularGraph(n, degree=degree, seed=1)
+        return
+    graph = RandomRegularGraph(n, degree=degree, seed=1)
+    assert graph.size == n
+    assert graph.num_arcs == n * degree  # n*d/2 edges, both directions
+    for agent in graph.agents():
+        assert len(graph.out_neighbors(agent)) == degree
+        assert graph.degree(agent) == 2 * degree
+    # Both directions of every sampled edge are present.
+    for initiator, responder in graph.arcs:
+        assert graph.has_arc(responder, initiator)
+
+
+def test_random_regular_is_deterministic_per_seed():
+    first = RandomRegularGraph(20, degree=4, seed=11)
+    second = RandomRegularGraph(20, degree=4, seed=11)
+    assert first.arcs == second.arcs
+    other = RandomRegularGraph(20, degree=4, seed=12)
+    assert first.arcs != other.arcs
+    assert first.regular_degree == 4
+    assert first.construction_seed == 11
+
+
+def test_random_regular_handles_dense_degrees():
+    """Regression: all-or-nothing pairing rejection needs ~exp(d^2/4)
+    attempts and already failed routinely at d=6; pair-level resampling
+    must handle dense degrees."""
+    graph = RandomRegularGraph(16, degree=6, seed=3)
+    assert all(len(graph.out_neighbors(agent)) == 6 for agent in graph.agents())
+    # d = n-1 is the complete graph, the densest legal case.
+    complete = RandomRegularGraph(10, degree=9, seed=0)
+    assert complete.num_arcs == 90
+
+
+def test_random_regular_validates_parameters():
+    with pytest.raises(InvalidParameterError):
+        RandomRegularGraph(1, degree=2)
+    with pytest.raises(InvalidParameterError):
+        RandomRegularGraph(10, degree=1)
+    with pytest.raises(InvalidParameterError):
+        RandomRegularGraph(10, degree=10)
+    with pytest.raises(InvalidParameterError):
+        RandomRegularGraph(9, degree=3)  # n*d odd
+    with pytest.raises(InvalidParameterError):
+        RandomRegularGraph(10, degree=4, max_attempts=0)
