@@ -32,6 +32,7 @@ from repro.core import (
     BatchedSimulation,
     Configuration,
     ConvergenceError,
+    NumpySimulation,
     RandomSource,
     ReproError,
     RunResult,
@@ -40,6 +41,7 @@ from repro.core import (
     StateEncoder,
     StateSpaceError,
     UniformRandomScheduler,
+    numpy_available,
 )
 from repro.protocols.ppl import PPLParams, PPLProtocol, PPLState
 from repro.topology import (
@@ -64,6 +66,7 @@ __all__ = [
     "ExperimentBuilder",
     "ExperimentConfig",
     "ExperimentResult",
+    "NumpySimulation",
     "PPLParams",
     "PPLProtocol",
     "PPLState",
@@ -83,6 +86,7 @@ __all__ = [
     "__version__",
     "build_topology",
     "experiment",
+    "numpy_available",
     "run_spec",
     "topology_names",
 ]

@@ -12,7 +12,15 @@ This package is the single entry point for running anything in the repo:
 
 from repro.api.builder import ExperimentBuilder, ExperimentResult, experiment
 from repro.api.config import ExperimentConfig
-from repro.api.executor import TrialResult, TrialTask, execute_trial, run_trials, trial_tasks
+from repro.api.executor import (
+    BatchRequest,
+    TrialResult,
+    TrialTask,
+    execute_trial,
+    run_batches,
+    run_trials,
+    trial_tasks,
+)
 from repro.api.registry import (
     ProtocolSpec,
     ensure_angluin_spec,
@@ -27,6 +35,7 @@ from repro.api.registry import (
 )
 
 __all__ = [
+    "BatchRequest",
     "ExperimentBuilder",
     "ExperimentConfig",
     "ExperimentResult",
@@ -40,6 +49,7 @@ __all__ = [
     "get_spec",
     "list_specs",
     "register",
+    "run_batches",
     "run_spec",
     "run_trials",
     "runner_for",

@@ -201,14 +201,16 @@ class ExperimentBuilder:
         return self
 
     def engine(self, mode: str) -> "ExperimentBuilder":
-        """Pick the simulation engine: ``"auto"`` (default), ``"step"``, or
-        ``"batched"``.
+        """Pick the simulation engine: ``"auto"`` (default), ``"step"``,
+        ``"batched"``, or ``"numpy"``.
 
-        ``"auto"`` compiles the protocol into the batched table-driven engine
-        whenever its state space enumerates and falls back to the step loop
-        otherwise; trial outcomes are bit-identical either way.  Validated
-        against the spec immediately, so e.g. forcing ``"batched"`` on the
-        oracle-backed ``fischer-jiang`` fails here rather than mid-run.
+        ``"auto"`` picks the fastest applicable tier — the vectorized numpy
+        engine when numpy is installed and the protocol's state space
+        enumerates, the batched table engine when it enumerates without
+        numpy, the step loop otherwise; trial outcomes are bit-identical on
+        every tier.  Validated against the spec immediately, so e.g. forcing
+        a table tier onto the oracle-backed ``fischer-jiang`` (or ``numpy``
+        without numpy installed) fails here rather than mid-run.
         """
         self._spec.resolve_engine(mode)
         self._engine = mode

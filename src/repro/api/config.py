@@ -9,6 +9,7 @@ picklable dataclass so trial tasks can ship it to worker processes verbatim.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
@@ -26,11 +27,19 @@ class ExperimentConfig:
     w.h.p. margin, not the asymptotic shape).
 
     ``engine`` selects the simulation engine for every trial: ``"auto"``
-    (default) uses the batched table-driven engine whenever the protocol's
-    state space can be enumerated and falls back to the step loop otherwise;
-    ``"step"`` forces the step loop; ``"batched"`` requires the batched
-    engine and errors when the protocol cannot be encoded.  Both engines
-    produce bit-identical trial results for the same seed.
+    (default) picks the fastest applicable tier — the vectorized ``numpy``
+    engine when numpy is installed and the protocol's state space can be
+    enumerated, the batched table-driven engine when it enumerates without
+    numpy, the step loop otherwise; ``"step"`` forces the step loop;
+    ``"batched"``/``"numpy"`` require that tier and error when it does not
+    apply.  Every engine produces bit-identical trial results for the same
+    seed.
+
+    ``check_backoff`` turns on the geometric check-interval backoff in
+    ``run_until``: the interval between stop-predicate evaluations starts at
+    ``check_interval`` and doubles (up to an engine-shared cap) after every
+    unsatisfied check.  Off by default — with it off, reported step counts
+    are identical to all previous releases.
 
     ``topology`` names the population graph every trial runs on (a
     :mod:`repro.topology.registry` name; default: the paper's directed
@@ -49,6 +58,7 @@ class ExperimentConfig:
     engine: str = "auto"
     topology: str = DEFAULT_TOPOLOGY
     topology_params: Tuple[Tuple[str, int], ...] = ()
+    check_backoff: bool = False
 
     def rng(self, label: str) -> RandomSource:
         """A reproducible random stream for one experiment component."""
@@ -57,6 +67,20 @@ class ExperimentConfig:
     def topology_kwargs(self) -> Dict[str, int]:
         """The topology parameters as keyword arguments for the factory."""
         return dict(self.topology_params)
+
+    def cache_key(self) -> Tuple:
+        """A hashable identity for batch-level caches (``sizes`` tuple-ized).
+
+        Two configs with equal keys produce identical trials, so batch
+        resources compiled for one — shared encoders, worker-side config
+        records — can serve the other.  Derived from the dataclass fields so
+        a future field can never be silently left out of the identity.
+        """
+        return tuple(
+            tuple(value) if isinstance(value, (list, range)) else value
+            for value in (getattr(self, field.name)
+                          for field in dataclasses.fields(self))
+        )
 
 
 def freeze_topology_params(params: "Dict[str, int] | None",

@@ -1,10 +1,13 @@
 """Parallel trial runner: fan independent trials out over worker processes.
 
-Every experiment in this package is, at bottom, a batch of *independent*
-trials — same protocol, same ring size, different random streams.  This
-module turns one such batch into a list of :class:`TrialTask` records
+Every experiment in this package is, at bottom, a set of *independent*
+trials — grouped into batches that share a protocol, population size, and
+configuration.  This module turns batches into :class:`TrialTask` records
 (primitive, picklable) and executes them either serially in-process or on a
-:class:`concurrent.futures.ProcessPoolExecutor`.
+:class:`concurrent.futures.ProcessPoolExecutor`.  One pool serves an
+arbitrary mix of batches (:func:`run_batches`), so whole scaling sweeps and
+Table-1 runs drain a single flat task list instead of idling the pool
+between ``(protocol, n)`` points.
 
 Determinism
 -----------
@@ -17,13 +20,30 @@ and ships only those integers to the workers.  A worker reconstructs its
 :class:`~repro.core.rng.RandomSource` streams from the integers, so the order
 in which workers run — or whether they run in another process at all — cannot
 change any trial's outcome.  Only wall-clock timings differ between modes.
+Batches derive their seeds independently (the stream label is a pure function
+of the batch's ``rng_label`` and ``n``), so a flat multi-batch task list is
+seed-for-seed identical to running each batch alone.
 
 Workers re-resolve the protocol spec *by name* from
 :mod:`repro.api.registry`, so nothing protocol-specific (factories, stop
-predicates, oracle simulations) ever crosses the process boundary.  Specs
-registered at import time are therefore visible in every worker; specs
-registered dynamically at runtime additionally require the ``fork`` start
-method (the default on Linux, and forced below when available).
+predicates, oracle simulations) ever crosses the process boundary; the shared
+:class:`ExperimentConfig` of each batch crosses it once per worker (a pool
+initializer argument), not once per trial.  Specs registered at import time
+are therefore visible in every worker; specs registered dynamically at
+runtime additionally require the ``fork`` start method (the default on
+Linux, and forced below when available).
+
+Shared encoder compilation
+--------------------------
+Table-driven trials used to recompile the same ``|Q|^2`` transition table
+once per trial.  :func:`shared_encoder` compiles it once per
+``(spec, n, config)`` batch into a small process-local cache, seeded to
+cover the batch's adversarial families (see
+:func:`repro.core.encoding.coverage_seeds`); the serial path reuses the
+cache directly and, under ``fork``, warmed parents hand the compiled tables
+(numpy arrays included) to every worker for free.  A trial whose initial
+configuration the shared table does not cover silently recompiles its own —
+sharing is an optimization, never a semantic change.
 """
 
 from __future__ import annotations
@@ -33,7 +53,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.config import ExperimentConfig
 from repro.core.rng import RandomSource
@@ -60,9 +80,9 @@ class TrialResult:
     steps: int
     converged: bool
     wall_time: float
-    #: Which engine actually executed the trial ("step" or "batched") —
-    #: observability for the auto engine's enumerate-or-fallback choice.
-    #: Both engines produce identical steps/converged for the same seeds.
+    #: Which engine actually executed the trial ("step", "batched", or
+    #: "numpy") — observability for the auto engine's tier choice.  All
+    #: engines produce identical steps/converged for the same seeds.
     engine: str = "step"
     #: Display name of the protocol instance that ran.  The worker builds
     #: the protocol anyway, so reporting the name here lets aggregators
@@ -72,6 +92,23 @@ class TrialResult:
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One ``(protocol, n)`` point of a sweep, as the shared pool sees it.
+
+    ``family``/``trials``/``rng_label`` default exactly like
+    :func:`repro.api.registry.run_spec`'s parameters, so folding a sweep
+    into requests reproduces the per-point random streams bit-for-bit.
+    """
+
+    spec_name: str
+    population_size: int
+    config: ExperimentConfig
+    family: Optional[str] = None
+    trials: Optional[int] = None
+    rng_label: Optional[str] = None
 
 
 def trial_tasks(
@@ -108,17 +145,82 @@ def trial_tasks(
     return tasks
 
 
+# ---------------------------------------------------------------------- #
+# Shared encoder compilation (one table per batch, not per trial)
+# ---------------------------------------------------------------------- #
+_ENCODER_CACHE: "Dict[Tuple, object]" = {}
+_ENCODER_CACHE_LIMIT = 64
+
+#: Cache value for "nothing to share, but the batch may still encode":
+#: protocols without canonical seed states compile per trial from their
+#: initial configurations, exactly as before encoder sharing existed.
+UNSHARED = object()
+
+
+def shared_encoder(spec_name: str, n: int, config: ExperimentConfig):
+    """The batch-shared compiled encoder for ``(spec, n, config)``.
+
+    Returns the compiled :class:`StateEncoder`, ``None`` when the batch is
+    established not to enumerate (the auto engine's step fallback applies to
+    every trial), or :data:`UNSHARED` when no batch-level seed states exist
+    (base-class ``canonical_states``) — then each trial compiles from its
+    own initial configuration, as it always did.  Entries are cached so
+    repeated lookups stay O(1), with numpy tables materialized eagerly when
+    numpy is installed so a parent that warms the cache before forking hands
+    workers fully-compiled arrays.
+    """
+    key = (spec_name, n, config.cache_key())
+    if key in _ENCODER_CACHE:
+        return _ENCODER_CACHE[key]
+    from repro.api.registry import get_spec
+    from repro.core.encoding import StateEncoder, coverage_seeds
+    from repro.core.fast_simulator import numpy_available
+
+    spec = get_spec(spec_name)
+    try:
+        mode = spec.resolve_engine(config.engine)
+    except ValueError:
+        mode = "step"  # the executor's caller reports the error loudly
+    if mode == "step":
+        encoder = None
+    else:
+        protocol = spec.build_protocol(n, config)
+        seeds = coverage_seeds(protocol)
+        encoder = StateEncoder.try_build(protocol, seeds) if seeds else UNSHARED
+        if encoder not in (None, UNSHARED) and numpy_available():
+            encoder.numpy_tables()
+    if len(_ENCODER_CACHE) >= _ENCODER_CACHE_LIMIT:
+        _ENCODER_CACHE.pop(next(iter(_ENCODER_CACHE)))
+    _ENCODER_CACHE[key] = encoder
+    return encoder
+
+
+def warm_shared_encoders(tasks: Sequence[TrialTask]) -> None:
+    """Compile every distinct batch's shared encoder in this process.
+
+    Called by :func:`run_trials` in the parent before the pool is created:
+    under the ``fork`` start method the workers inherit the compiled tables,
+    converting an O(trials * |Q|^2) compilation cost into O(|Q|^2) per batch.
+    """
+    seen = set()
+    for task in tasks:
+        key = (task.spec_name, task.population_size, task.config.cache_key())
+        if key not in seen:
+            seen.add(key)
+            shared_encoder(task.spec_name, task.population_size, task.config)
+
+
 def execute_trial(task: TrialTask) -> TrialResult:
     """Run one trial to its stop predicate (serial path and worker entry point).
 
-    The engine comes from ``task.config.engine``: ``"auto"`` compiles the
-    protocol into the batched table-driven engine when its state space
-    enumerates and falls back to the step loop otherwise.  Either way the
-    trial's random streams — and therefore its step count and outcome — are
-    bit-identical (see :meth:`repro.api.registry.ProtocolSpec.build_simulation`).
+    The engine comes from ``task.config.engine``: ``"auto"`` picks the
+    fastest tier whose requirements the protocol meets (numpy, batched, step
+    — see :meth:`repro.api.registry.ProtocolSpec.build_simulation`).  Either
+    way the trial's random streams — and therefore its step count and
+    outcome — are bit-identical.
     """
     from repro.api.registry import get_spec
-    from repro.core.fast_simulator import BatchedSimulation
+    from repro.core.fast_simulator import BatchedSimulation, NumpySimulation
 
     spec = get_spec(task.spec_name)
     protocol = spec.build_protocol(task.population_size, task.config)
@@ -127,27 +229,47 @@ def execute_trial(task: TrialTask) -> TrialResult:
         task.family, protocol, task.population_size,
         RandomSource(task.configuration_seed),
     )
+    engine = task.config.engine
+    encoder = None
+    if spec.resolve_engine(engine) != "step":
+        encoder = shared_encoder(task.spec_name, task.population_size, task.config)
+        if encoder is UNSHARED:
+            encoder = None  # no batch seeds: compile per trial, as always
+        elif encoder is None and spec.resolve_engine(engine) == "auto":
+            # The batch-level compilation already established that the state
+            # space does not enumerate; skip re-proving it on every trial.
+            engine = "step"
     started = time.perf_counter()
     simulation = spec.build_simulation(
         protocol, population, initial, RandomSource(task.scheduler_seed),
-        engine=task.config.engine,
+        engine=engine, encoder=encoder,
     )
     predicate = spec.build_stop_predicate(protocol, population)
     run = simulation.run_until(
         predicate,
         max_steps=task.config.max_steps,
         check_interval=task.config.check_interval,
+        check_backoff=task.config.check_backoff,
     )
+    if isinstance(simulation, NumpySimulation):
+        engine_name = "numpy"
+    elif isinstance(simulation, BatchedSimulation):
+        engine_name = "batched"
+    else:
+        engine_name = "step"
     return TrialResult(
         trial=task.trial,
         steps=run.steps,
         converged=run.satisfied,
         wall_time=time.perf_counter() - started,
-        engine="batched" if isinstance(simulation, BatchedSimulation) else "step",
+        engine=engine_name,
         protocol_name=protocol.name,
     )
 
 
+# ---------------------------------------------------------------------- #
+# Pool plumbing
+# ---------------------------------------------------------------------- #
 def _pool_context():
     """Prefer ``fork`` so dynamically registered specs reach the workers.
 
@@ -160,19 +282,133 @@ def _pool_context():
     return None
 
 
+#: Ceiling on the computed map chunksize: IPC amortization saturates quickly,
+#: while unbounded chunks hand one worker a long run of same-batch expensive
+#: trials in a heterogeneous sweep (the flat list is ordered batch-by-batch).
+_MAX_CHUNKSIZE = 16
+
+
+def _chunksize(task_count: int, pool_size: int) -> int:
+    """Batch ~4 chunks per worker so small trials stop paying one IPC
+    round-trip each, while load stays balanced across stragglers."""
+    return max(1, min(task_count // (4 * pool_size), _MAX_CHUNKSIZE))
+
+
+#: Worker-side registry of batch configs, filled once per worker by the pool
+#: initializer — the config crosses the process boundary per worker, not per
+#: trial (tasks then reference it by index).
+_WORKER_CONFIGS: Dict[int, ExperimentConfig] = {}
+
+#: A light task: every TrialTask field except the config, which is replaced
+#: by its index into the initializer-shipped config table.
+_LightTask = Tuple[int, str, int, int, str, int, int]
+
+
+def _init_worker(configs: Dict[int, ExperimentConfig]) -> None:
+    _WORKER_CONFIGS.clear()
+    _WORKER_CONFIGS.update(configs)
+
+
+def _execute_light(item: _LightTask) -> TrialResult:
+    config_id, spec_name, n, trial, family, conf_seed, sched_seed = item
+    return execute_trial(TrialTask(
+        spec_name=spec_name,
+        population_size=n,
+        trial=trial,
+        family=family,
+        configuration_seed=conf_seed,
+        scheduler_seed=sched_seed,
+        config=_WORKER_CONFIGS[config_id],
+    ))
+
+
 def run_trials(tasks: Sequence[TrialTask],
                workers: Optional[int] = None) -> List[TrialResult]:
-    """Execute a batch of trials, serially or across worker processes.
+    """Execute a flat task list, serially or across worker processes.
 
     ``workers=None`` (or ``<= 1``) runs in-process; any larger value fans the
-    batch out over a process pool.  Results come back in task order either
-    way, and with identical per-trial step counts (see the module docstring).
+    tasks out over one process pool.  Tasks may mix batches freely (that is
+    how :func:`run_batches` shares its pool).  Results come back in task
+    order either way, and with identical per-trial step counts (see the
+    module docstring).
     """
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers is None or workers <= 1 or len(tasks) <= 1:
         return [execute_trial(task) for task in tasks]
+    # Compile each batch's shared encoder up front: under fork the workers
+    # inherit the tables; under spawn each worker compiles once per batch.
+    warm_shared_encoders(tasks)
+    configs: List[ExperimentConfig] = []
+    config_ids: Dict[Tuple, int] = {}
+    items: List[_LightTask] = []
+    for task in tasks:
+        key = task.config.cache_key()
+        config_id = config_ids.get(key)
+        if config_id is None:
+            config_id = len(configs)
+            configs.append(task.config)
+            config_ids[key] = config_id
+        items.append((config_id, task.spec_name, task.population_size,
+                      task.trial, task.family, task.configuration_seed,
+                      task.scheduler_seed))
     pool_size = min(workers, len(tasks))
     with ProcessPoolExecutor(max_workers=pool_size,
-                             mp_context=_pool_context()) as pool:
-        return list(pool.map(execute_trial, tasks))
+                             mp_context=_pool_context(),
+                             initializer=_init_worker,
+                             initargs=(dict(enumerate(configs)),)) as pool:
+        return list(pool.map(_execute_light, items,
+                             chunksize=_chunksize(len(items), pool_size)))
+
+
+def batch_tasks(request: BatchRequest) -> List[TrialTask]:
+    """Validate one sweep point and derive its trial tasks.
+
+    Mirrors :func:`repro.api.registry.run_spec`'s fail-fast checks (engine,
+    size, topology, family) so a bad point aborts the whole sweep before any
+    trial runs, then derives seeds exactly as a standalone run would.
+    """
+    from repro.api.registry import get_spec
+    from repro.topology.registry import validate_topology
+
+    spec = get_spec(request.spec_name)
+    if not spec.is_simulated:
+        raise ValueError(
+            f"protocol {request.spec_name!r} is analytic; "
+            "use evaluate_analytic() instead"
+        )
+    config = request.config
+    n = request.population_size
+    spec.resolve_engine(config.engine)
+    spec.require_supported(n)
+    spec.require_topology(config.topology)
+    validate_topology(config.topology, n, **config.topology_kwargs())
+    family = request.family or spec.default_family
+    spec.require_family(family)
+    return trial_tasks(
+        request.spec_name, n, config, family, trials=request.trials,
+        rng_label=request.rng_label or spec.rng_label or request.spec_name,
+    )
+
+
+def run_batches(requests: Sequence[BatchRequest],
+                workers: Optional[int] = None) -> List[List[TrialResult]]:
+    """Execute many ``(protocol, n)`` batches on one shared process pool.
+
+    The sweep-level fan-out: every request's trials join one flat task list
+    drained by a single pool, so workers stay busy across point boundaries
+    instead of idling while a nearly-finished point drains.  Per-batch seed
+    derivation is unchanged (each batch's streams depend only on its own
+    label and size), so results — returned as one ``List[TrialResult]`` per
+    request, in request order — are bit-identical to running each batch
+    alone, serially or in parallel.
+    """
+    per_batch = [batch_tasks(request) for request in requests]
+    flat = [task for tasks in per_batch for task in tasks]
+    outcomes = run_trials(flat, workers=workers)
+    grouped: List[List[TrialResult]] = []
+    cursor = 0
+    for tasks in per_batch:
+        grouped.append(outcomes[cursor:cursor + len(tasks)])
+        cursor += len(tasks)
+    return grouped

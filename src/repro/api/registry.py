@@ -34,14 +34,17 @@ from repro.analysis.convergence import (
     default_simulation_factory,
 )
 from repro.api.config import ExperimentConfig
-from repro.api.executor import TrialResult, run_trials, trial_tasks
+from repro.api.executor import BatchRequest, TrialResult, batch_tasks, run_trials
 from repro.core.configuration import Configuration, random_configuration
 from repro.core.encoding import StateEncoder
 from repro.core.errors import StateSpaceError
 from repro.core.fast_simulator import (
     ENGINES,
     BatchedSimulation,
+    NumpySimulation,
     batched_simulation_factory,
+    numpy_available,
+    numpy_simulation_factory,
 )
 from repro.core.protocol import Protocol
 from repro.core.rng import RandomSource
@@ -51,7 +54,6 @@ from repro.topology.registry import (
     DEFAULT_TOPOLOGY,
     build_topology,
     get_topology_spec,
-    validate_topology,
 )
 from repro.topology.ring import DirectedRing
 
@@ -100,11 +102,12 @@ class ProtocolSpec:
     rng_label: Optional[str] = None
     analytic_model: Optional[AnalyticModel] = None
     reference: str = ""
-    #: Engine policy for this protocol: ``"auto"`` (batched when the state
-    #: space encodes, step loop otherwise), ``"step"`` (the protocol needs
-    #: the step engine — e.g. an oracle-augmented simulation that inspects
-    #: the global configuration every step), or ``"batched"`` (encoding must
-    #: succeed; failure is an error rather than a silent fallback).
+    #: Engine policy for this protocol: ``"auto"`` (fastest applicable tier —
+    #: numpy, then batched, then the step loop — by encodability and numpy
+    #: availability), ``"step"`` (the protocol needs the step engine — e.g.
+    #: an oracle-augmented simulation that inspects the global configuration
+    #: every step), or ``"batched"``/``"numpy"`` (that tier must apply;
+    #: failure is an error rather than a silent fallback).
     simulation_mode: str = "auto"
 
     def __post_init__(self) -> None:
@@ -249,41 +252,66 @@ class ProtocolSpec:
         """Combine a requested engine with this spec's policy.
 
         An explicit ``"step"`` request always wins; ``"auto"`` defers to the
-        spec's ``simulation_mode``; ``"batched"`` is rejected for specs that
-        require the step engine (running them through a table would silently
-        change their semantics, not just their speed).
+        spec's ``simulation_mode``; ``"batched"``/``"numpy"`` are rejected
+        for specs that require the step engine (running them through a table
+        would silently change their semantics, not just their speed), and
+        ``"numpy"`` additionally requires the optional numpy dependency —
+        both fail fast here, before any trial runs.
         """
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         mode = self.simulation_mode if engine == "auto" else engine
+        if mode == "numpy" and not numpy_available():
+            raise ValueError(
+                "--engine numpy requires the optional numpy dependency; "
+                "install numpy or use --engine auto (which falls back to the "
+                "batched tier)"
+            )
         if self.requires_step_engine:
-            if mode == "batched":
+            if mode in ("batched", "numpy"):
                 raise ValueError(
                     f"protocol {self.name!r} requires the step engine "
-                    "(custom simulation semantics); --engine batched does not apply"
+                    f"(custom simulation semantics); --engine {mode} does not apply"
                 )
             return "step"
         return mode
 
     def build_simulation(self, protocol: Protocol, population: Population,
                          initial: Configuration, rng: RandomSource,
-                         engine: str = "auto") -> "Simulation | BatchedSimulation":
+                         engine: str = "auto",
+                         encoder: "StateEncoder | None" = None,
+                         ) -> "Simulation | BatchedSimulation | NumpySimulation":
         """Build the simulation for one trial on the resolved engine.
 
-        The encoder is built *before* any draw is taken from ``rng``, and
-        both engine factories consume exactly one ``rng.randint`` in the same
+        ``auto`` prefers the fastest applicable tier: the vectorized numpy
+        engine when numpy is installed and the protocol encodes, the batched
+        table engine when it encodes without numpy, the step loop otherwise.
+        ``encoder`` may carry a batch-shared compiled encoder (see
+        :func:`repro.api.executor.shared_encoder`); it is used only when it
+        covers this trial's initial configuration, with a per-trial build as
+        the fallback, so sharing never changes results.
+
+        Any encoder is built *before* a draw is taken from ``rng``, and all
+        engine factories consume exactly one ``rng.randint`` in the same
         position, so the random streams — and therefore every trial result —
         are bit-identical whichever engine ends up running.
         """
         mode = self.resolve_engine(engine)
         if mode == "step":
             return self.simulation_factory(protocol, population, initial, rng)
-        if mode == "batched":
-            encoder = StateEncoder.build(protocol, initial.states())
-        else:  # auto: enumerate-or-fallback
-            encoder = StateEncoder.try_build(protocol, initial.states())
+        if encoder is not None and not encoder.covers(initial.states()):
+            encoder = None  # shared table misses a state: recompile per trial
+        if mode == "auto":
+            if encoder is None:
+                encoder = StateEncoder.try_build(protocol, initial.states())
             if encoder is None:
                 return self.simulation_factory(protocol, population, initial, rng)
+            mode = "numpy" if numpy_available() else "batched"
+        elif encoder is None:
+            encoder = StateEncoder.build(protocol, initial.states())
+        if mode == "numpy":
+            return numpy_simulation_factory(protocol, population, initial, rng,
+                                            encoder=encoder)
         return batched_simulation_factory(protocol, population, initial, rng,
                                           encoder=encoder)
 
@@ -352,25 +380,17 @@ def run_spec(
     otherwise — trial outcomes are bit-identical either way).
     """
     spec = get_spec(name)
-    if not spec.is_simulated:
-        raise ValueError(
-            f"protocol {name!r} is analytic; use evaluate_analytic() instead"
-        )
     config = config or ExperimentConfig()
     if engine is not None:
         config = replace(config, engine=engine)
-    spec.resolve_engine(config.engine)  # fail fast, before any fan-out
-    spec.require_supported(n)
-    # Fail fast on topology name/params/size without building anything; the
-    # population itself is constructed once per trial, in the worker.
-    spec.require_topology(config.topology)
-    validate_topology(config.topology, n, **config.topology_kwargs())
-    chosen_family = family or spec.default_family
-    spec.require_family(chosen_family)  # fail fast, before any fan-out
-    tasks = trial_tasks(
-        name, n, config, chosen_family, trials=trials,
-        rng_label=rng_label or spec.rng_label or name,
-    )
+    # batch_tasks carries the shared fail-fast validation (simulated-ness,
+    # engine, size, topology, family) and the seed derivation — the same
+    # code path sweeps take through run_batches, so a check added there can
+    # never silently skip standalone runs, or vice versa.
+    tasks = batch_tasks(BatchRequest(
+        spec_name=name, population_size=n, config=config, family=family,
+        trials=trials, rng_label=rng_label,
+    ))
     outcomes = run_trials(tasks, workers=workers)
     # The display name rides along with every trial outcome (the workers
     # build the protocol anyway), so no throwaway instance is constructed

@@ -112,11 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="steps between stop-predicate checks (default: 128)")
     sweep.add_argument("--seed", type=int, default=2023, help="master random seed")
     sweep.add_argument("--engine", choices=ENGINES, default="auto",
-                       help="simulation engine: auto compiles small-state protocols "
-                            "into the batched table-driven engine and falls back to "
-                            "the step loop when the state space is too large to "
-                            "enumerate; results are bit-identical either way "
-                            "(default: auto)")
+                       help="simulation engine: auto picks the fastest applicable "
+                            "tier — the vectorized numpy engine when numpy is "
+                            "installed and the protocol's state space enumerates, "
+                            "the batched table-driven engine when it enumerates "
+                            "without numpy, and the step loop otherwise; results "
+                            "are bit-identical on every tier (default: auto)")
+    sweep.add_argument("--check-backoff", action="store_true",
+                       help="double the stop-predicate check interval after every "
+                            "unsatisfied check (geometric backoff, capped), trading "
+                            "a bounded step-count overshoot for fewer predicate "
+                            "evaluations on long runs (default: off)")
 
     topo = argparse.ArgumentParser(add_help=False)
     topo.add_argument("--topology", default=DEFAULT_TOPOLOGY, metavar="NAME[:K=V,...]",
@@ -141,8 +147,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=_positive_int, default=1,
                      help="processes for parallel trials (default: 1 = serial)")
 
-    subparsers.add_parser("table1", parents=[sweep, fmt],
-                          help="the Table-1 comparison")
+    table1 = subparsers.add_parser("table1", parents=[sweep, fmt],
+                                   help="the Table-1 comparison")
+    table1.add_argument("--workers", type=_positive_int, default=1,
+                        help="processes shared by all table cells' trials "
+                             "(default: 1 = serial)")
     scaling = subparsers.add_parser("scaling", parents=[sweep, topo, fmt],
                                     help="the Theorem-3.1 scaling sweep")
     scaling.add_argument("--leaderless", action="store_true",
@@ -150,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "uniform adversarial configurations")
     scaling.add_argument("--no-baseline", action="store_true",
                          help="skip the [28] baseline head-to-head")
+    scaling.add_argument("--workers", type=_positive_int, default=1,
+                         help="processes shared by the whole sweep's trials, "
+                              "across all (protocol, n) points "
+                              "(default: 1 = serial)")
     subparsers.add_parser("detection", parents=[sweep, fmt],
                           help="leader-absence detection times (Lemma 3.7)")
     subparsers.add_parser("elimination", parents=[sweep, fmt],
@@ -169,17 +182,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _require_auto_engine(args: argparse.Namespace) -> None:
-    """Reject ``--engine`` on commands that drive bespoke simulations.
+    """Reject engine tuning flags on commands that drive bespoke simulations.
 
     The detection/elimination/orientation/figure/demo experiments construct
-    their own step-engine simulations (trajectories, custom stop conditions);
-    silently ignoring an explicit engine choice there would misreport what
-    actually ran.
+    their own step-engine simulations (trajectories, custom stop conditions)
+    with their own run_until cadence; silently ignoring an explicit
+    ``--engine`` or ``--check-backoff`` there would misreport what actually
+    ran.
     """
     if args.engine != "auto":
         raise CommandError(
             f"{args.command!r} drives bespoke step-engine simulations; "
             "--engine does not apply (supported by: run, table1, scaling)"
+        )
+    if args.check_backoff:
+        raise CommandError(
+            f"{args.command!r} drives bespoke simulations with their own "
+            "check cadence; --check-backoff does not apply "
+            "(supported by: run, table1, scaling)"
         )
 
 
@@ -204,6 +224,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         engine=args.engine,
         topology=topology,
         topology_params=freeze_topology_params(topology_params),
+        check_backoff=args.check_backoff,
     )
 
 
@@ -352,19 +373,14 @@ def _cmd_table1(args: argparse.Namespace) -> CommandOutput:
     from repro.experiments.table1 import build_table1, render_table1
 
     config = _config_from_args(args)
-    rows = build_table1(config)
+    rows = build_table1(config, workers=args.workers)
     payload = {"command": "table1", "rows": [asdict(row) for row in rows]}
     return render_table1(rows), payload
 
 
 def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
     from repro.experiments.reporting import ascii_bar_chart
-    from repro.experiments.scaling import (
-        measure_scaling,
-        run_ppl,
-        run_ppl_leaderless,
-        run_yokota,
-    )
+    from repro.experiments.scaling import scaling_series
 
     config = _config_from_args(args)
     if len(config.sizes) < 2:
@@ -379,10 +395,9 @@ def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
             validate_topology(config.topology, n, **config.topology_kwargs())
     except ValueError as error:
         raise CommandError(str(error)) from None
-    runner = run_ppl_leaderless if args.leaderless else run_ppl
-    series = [measure_scaling(runner, "P_PL", config)]
-    if not args.no_baseline:
-        series.append(measure_scaling(run_yokota, "Yokota2021", config))
+    series = scaling_series(config, include_baseline=not args.no_baseline,
+                            from_leaderless=args.leaderless,
+                            workers=args.workers)
 
     sections: List[str] = []
     payload_series: List[Dict[str, object]] = []

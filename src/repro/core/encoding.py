@@ -37,6 +37,7 @@ from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, 
 
 from repro.core.errors import InvalidParameterError, InvalidStateError, StateSpaceError
 from repro.core.protocol import Protocol
+from repro.core.rng import RandomSource
 
 StateT = TypeVar("StateT")
 
@@ -87,6 +88,7 @@ class StateEncoder(Generic[StateT]):
         self._index = index
         self._initiator_out = initiator_out
         self._responder_out = responder_out
+        self._numpy_tables: "Optional[Dict[str, object]]" = None
         self._leader_flags = [protocol.is_leader(state) for state in states]
         width = len(states)
         self._changed = [
@@ -229,6 +231,17 @@ class StateEncoder(Generic[StateT]):
         """Codes for a whole configuration, in agent order."""
         return [self.encode(state) for state in states]
 
+    def covers(self, states: Iterable[StateT]) -> bool:
+        """True when every state of ``states`` is inside the enumerated space.
+
+        The coverage test behind encoder sharing: a cached encoder compiled
+        for one batch can serve a trial exactly when it covers that trial's
+        initial configuration (the table is a closure, so covered seeds can
+        never step outside it).
+        """
+        index = self._index
+        return all(_state_key(state) in index for state in states)
+
     def decode(self, code: int) -> StateT:
         """A state equal to the one ``code`` stands for (fresh copy if mutable)."""
         state = self._states[code]
@@ -265,6 +278,62 @@ class StateEncoder(Generic[StateT]):
         """Per-code leader output, indexed by state code."""
         return self._leader_flags
 
+    def numpy_tables(self) -> Dict[str, object]:
+        """The compiled tables as dense ``numpy`` arrays (built lazily, cached).
+
+        Keys: ``initiator_out`` / ``responder_out`` (``int64``, usable
+        directly as gather indices without an intp cast), ``changed``
+        (``bool``), ``leader_delta`` (``int64``), ``leader_flags``
+        (``int64`` 0/1).  One conversion serves every simulation sharing
+        this encoder — including the worker processes that inherit it
+        through ``fork``.  Raises ``ImportError`` when numpy is missing;
+        callers gate on :func:`repro.core.fast_simulator.numpy_available`.
+        """
+        if self._numpy_tables is None:
+            import numpy
+
+            self._numpy_tables = {
+                "initiator_out": numpy.array(self._initiator_out, dtype=numpy.int64),
+                "responder_out": numpy.array(self._responder_out, dtype=numpy.int64),
+                "changed": numpy.array(self._changed, dtype=bool),
+                "leader_delta": numpy.array(self._leader_delta, dtype=numpy.int64),
+                "leader_flags": numpy.array(self._leader_flags, dtype=numpy.int64),
+            }
+        return self._numpy_tables
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<StateEncoder protocol={self._protocol.name!r} "
                 f"states={self.num_states}>")
+
+
+#: Probe draws for :func:`coverage_seeds`, relative to the declared state
+#: bound: with ``32 * bound`` uniform samples the chance of any reachable
+#: state being missed is below ``bound * e^-32`` — negligible, and a miss
+#: only costs the per-trial fallback rebuild, never correctness.
+_PROBE_FACTOR = 32
+_MAX_PROBES = 4096
+
+
+def coverage_seeds(protocol: Protocol[StateT],
+                   max_states: int = DEFAULT_MAX_STATES) -> List[StateT]:
+    """Seed states for a *batch-shared* encoder.
+
+    A per-trial encoder is seeded with that trial's initial configuration, so
+    it covers it by construction.  A shared encoder is compiled before any
+    trial's configuration exists, so its seeds must span the states an
+    adversarial family may draw: the canonical states plus a deterministic
+    sweep of ``protocol.random_state`` samples (an independent fixed-label
+    stream, so no trial stream is perturbed).  Protocols without a declared
+    finite bound get the canonical states only — they fall back to per-trial
+    compilation anyway.
+    """
+    seeds = list(protocol.canonical_states())
+    try:
+        bound = protocol.state_space_size()
+    except NotImplementedError:
+        bound = None
+    if bound is not None and bound <= max_states:
+        probe_rng = RandomSource(0).spawn(f"encoder-probe-{protocol.name}")
+        probes = min(_PROBE_FACTOR * bound, _MAX_PROBES)
+        seeds.extend(protocol.random_state(probe_rng) for _ in range(probes))
+    return seeds

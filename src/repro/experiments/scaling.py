@@ -12,14 +12,15 @@ the paper's headline claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import ScalingFit, best_growth_law
 from repro.api.config import ExperimentConfig
+from repro.api.executor import BatchRequest, run_batches
+from repro.api.registry import collect_convergence
 from repro.experiments.harness import (
     ProtocolRunner,
     run_ppl,
-    run_ppl_leaderless,
     run_yokota,
     sweep,
 )
@@ -43,7 +44,13 @@ class ScalingSeries:
 def measure_scaling(runner: ProtocolRunner, label: str,
                     config: ExperimentConfig,
                     sizes: Optional[Sequence[int]] = None) -> ScalingSeries:
-    """Sweep one protocol and fit its mean steps against the growth laws."""
+    """Sweep one protocol and fit its mean steps against the growth laws.
+
+    The runner-callable path: each point runs (and, with a parallel runner,
+    pools) on its own.  Sweeps over registered specs should prefer
+    :func:`scaling_series`, which drains every point's trials from one
+    shared process pool.
+    """
     result = sweep(runner, config, label, sizes=sizes)
     swept_sizes = result.sizes()
     means = result.mean_steps()
@@ -51,15 +58,72 @@ def measure_scaling(runner: ProtocolRunner, label: str,
     return ScalingSeries(protocol=label, sizes=swept_sizes, mean_steps=means, fits=fits)
 
 
+#: One sweep entry: (spec name, family or None, rng label or None, display label).
+_SweepEntry = Tuple[str, Optional[str], Optional[str], str]
+
+
+def _sweep_entries(include_baseline: bool,
+                   from_leaderless: bool) -> List[_SweepEntry]:
+    """The protocols of the Theorem-3.1 sweep, with their stream labels.
+
+    Families and rng labels reproduce :func:`repro.experiments.harness.run_ppl`
+    / ``run_ppl_leaderless`` / ``run_yokota`` exactly, so the pooled sweep is
+    bit-identical to the legacy one-runner-per-point path.
+    """
+    if from_leaderless:
+        entries: List[_SweepEntry] = [
+            ("ppl", "leaderless-trap", "ppl-leaderless", "P_PL")]
+    else:
+        entries = [("ppl", "adversarial", None, "P_PL")]
+    if include_baseline:
+        entries.append(("yokota2021", None, None, "Yokota2021"))
+    return entries
+
+
+def scaling_series(config: Optional[ExperimentConfig] = None,
+                   include_baseline: bool = True,
+                   from_leaderless: bool = False,
+                   workers: Optional[int] = None,
+                   sizes: Optional[Sequence[int]] = None) -> List[ScalingSeries]:
+    """Measure the whole sweep on one shared process pool and fit every series.
+
+    Every ``(protocol, n)`` point of the sweep contributes its trials to one
+    flat task list executed by a single pool (``workers`` processes; ``None``
+    or 1 = serial), so the pool never idles between points.  Results are
+    bit-identical to the serial :func:`measure_scaling` path.
+    """
+    config = config or ExperimentConfig()
+    # Dedupe like the legacy sweep (SweepResult keys results by n), so a
+    # repeated size neither double-runs trials nor double-weights the fit.
+    swept_sizes = sorted(set(sizes if sizes is not None else config.sizes))
+    entries = _sweep_entries(include_baseline, from_leaderless)
+    requests = [
+        BatchRequest(spec_name=spec_name, population_size=n, config=config,
+                     family=family, rng_label=rng_label)
+        for spec_name, family, rng_label, _ in entries
+        for n in swept_sizes
+    ]
+    outcomes = run_batches(requests, workers=workers)
+    series: List[ScalingSeries] = []
+    for position, (_, _, _, label) in enumerate(entries):
+        means = []
+        for offset, n in enumerate(swept_sizes):
+            batch = outcomes[position * len(swept_sizes) + offset]
+            means.append(collect_convergence(label, n, batch).mean_steps())
+        fits = best_growth_law(swept_sizes, means)
+        series.append(ScalingSeries(protocol=label, sizes=list(swept_sizes),
+                                    mean_steps=means, fits=fits))
+    return series
+
+
 def scaling_report(config: Optional[ExperimentConfig] = None,
                    include_baseline: bool = True,
-                   from_leaderless: bool = False) -> str:
+                   from_leaderless: bool = False,
+                   workers: Optional[int] = None) -> str:
     """Text report: the measured series, the bar chart, and the fitted laws."""
     config = config or ExperimentConfig()
-    runner = run_ppl_leaderless if from_leaderless else run_ppl
-    series: List[ScalingSeries] = [measure_scaling(runner, "P_PL", config)]
-    if include_baseline:
-        series.append(measure_scaling(run_yokota, "Yokota2021", config))
+    series = scaling_series(config, include_baseline=include_baseline,
+                            from_leaderless=from_leaderless, workers=workers)
 
     sections: List[str] = []
     for entry in series:

@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.api.config import ExperimentConfig
-from repro.api.registry import ensure_angluin_spec, run_spec
+from repro.api.executor import BatchRequest, run_batches
+from repro.api.registry import collect_convergence, ensure_angluin_spec
 from repro.experiments.reporting import format_table
 from repro.protocols.baselines.angluin_modk import AngluinModKProtocol
 from repro.protocols.baselines.chen_chen import ChenChenModel
@@ -40,20 +41,34 @@ class Table1Row:
 
 
 def build_table1(config: ExperimentConfig, reference_size: Optional[int] = None,
-                 angluin_k: int = 2) -> List[Table1Row]:
+                 angluin_k: int = 2,
+                 workers: Optional[int] = None) -> List[Table1Row]:
     """Measure every executable protocol at ``reference_size`` and assemble Table 1.
 
     ``reference_size`` defaults to the largest configured ring size; it must
     not be divisible by ``angluin_k`` so the [5] baseline's assumption holds
     (the harness picks the nearest admissible size otherwise).
+
+    All four simulated cells contribute their trials to one flat task list
+    executed on one shared process pool (``workers`` processes; ``None`` or
+    1 = serial), with results bit-identical to running the cells one
+    ``run_spec`` call at a time.
     """
     n = reference_size or max(config.sizes)
     angluin_n = n if n % angluin_k != 0 else n + 1
+    angluin_name = ensure_angluin_spec(angluin_k).name
 
-    ppl_result = run_spec("ppl", n, config)
-    yokota_result = run_spec("yokota2021", n, config)
-    fischer_result = run_spec("fischer-jiang", n, config)
-    angluin_result = run_spec(ensure_angluin_spec(angluin_k).name, angluin_n, config)
+    cells = [("ppl", n), ("yokota2021", n), ("fischer-jiang", n),
+             (angluin_name, angluin_n)]
+    outcomes = run_batches(
+        [BatchRequest(spec_name=spec_name, population_size=size, config=config)
+         for spec_name, size in cells],
+        workers=workers,
+    )
+    ppl_result, yokota_result, fischer_result, angluin_result = (
+        collect_convergence(batch[0].protocol_name or spec_name, size, batch)
+        for (spec_name, size), batch in zip(cells, outcomes)
+    )
 
     ppl_params = PPLParams.for_population(n, kappa_factor=config.kappa_factor)
     rows = [
@@ -127,7 +142,8 @@ def render_table1(rows: List[Table1Row]) -> str:
     )
 
 
-def run_and_render(config: Optional[ExperimentConfig] = None) -> str:
+def run_and_render(config: Optional[ExperimentConfig] = None,
+                   workers: Optional[int] = None) -> str:
     """Convenience entry point used by the benchmark and the CLI."""
-    rows = build_table1(config or ExperimentConfig())
+    rows = build_table1(config or ExperimentConfig(), workers=workers)
     return render_table1(rows)

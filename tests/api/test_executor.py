@@ -5,13 +5,16 @@ from __future__ import annotations
 import pytest
 
 from repro.api import (
+    BatchRequest,
     ExperimentConfig,
     execute_trial,
     experiment,
+    run_batches,
     run_spec,
     run_trials,
     trial_tasks,
 )
+from repro.api.executor import _chunksize
 
 TINY = ExperimentConfig(trials=4, max_steps=600_000, check_interval=32,
                         kappa_factor=4, seed=42)
@@ -80,3 +83,62 @@ def test_run_trials_rejects_bad_worker_count():
     tasks = trial_tasks("ppl", 8, TINY, "adversarial", trials=1)
     with pytest.raises(ValueError):
         run_trials(tasks, workers=0)
+
+
+# ---------------------------------------------------------------------- #
+# Sweep-level fan-out: many (protocol, n) batches, one shared pool
+# ---------------------------------------------------------------------- #
+SWEEP_REQUESTS = [
+    BatchRequest("ppl", 8, TINY),
+    BatchRequest("yokota2021", 8, TINY),
+    BatchRequest("yokota2021", 12, TINY),
+    BatchRequest("fischer-jiang", 8, TINY),
+]
+
+
+def test_run_batches_matches_per_batch_run_spec_bit_for_bit():
+    grouped = run_batches(SWEEP_REQUESTS, workers=None)
+    assert len(grouped) == len(SWEEP_REQUESTS)
+    for request, batch in zip(SWEEP_REQUESTS, grouped):
+        alone = run_spec(request.spec_name, request.population_size,
+                         request.config)
+        assert [trial.steps for trial in batch
+                if trial.converged] == alone.steps, request
+        assert [trial.trial for trial in batch] == list(range(TINY.trials))
+
+
+def test_run_batches_parallel_equals_serial_on_the_shared_pool():
+    serial = run_batches(SWEEP_REQUESTS)
+    pooled = run_batches(SWEEP_REQUESTS, workers=3)
+    for request, left, right in zip(SWEEP_REQUESTS, serial, pooled):
+        assert [t.steps for t in left] == [t.steps for t in right], request
+        assert [t.converged for t in left] == [t.converged for t in right]
+
+
+def test_run_batches_respects_per_request_families_and_trial_counts():
+    requests = [
+        BatchRequest("ppl", 8, TINY, family="leaderless-trap", trials=2,
+                     rng_label="ppl-leaderless"),
+        BatchRequest("yokota2021", 8, TINY, trials=1),
+    ]
+    grouped = run_batches(requests, workers=2)
+    assert [len(batch) for batch in grouped] == [2, 1]
+    # The custom label reproduces the legacy leaderless stream exactly.
+    alone = run_spec("ppl", 8, TINY, family="leaderless-trap", trials=2,
+                     rng_label="ppl-leaderless")
+    assert [t.steps for t in grouped[0] if t.converged] == alone.steps
+
+
+def test_run_batches_fails_fast_on_bad_points():
+    with pytest.raises(ValueError):
+        run_batches([BatchRequest("ppl", 8, TINY),
+                     BatchRequest("chen-chen", 8, TINY)])  # analytic
+    with pytest.raises(KeyError):
+        run_batches([BatchRequest("ppl", 8, TINY, family="nope")])
+
+
+def test_chunksize_amortizes_ipc_without_starving_workers():
+    assert _chunksize(4, 4) == 1          # never zero
+    assert _chunksize(64, 4) == 4         # ~4 chunks per worker
+    assert _chunksize(1000, 8) == 16      # capped: heterogeneous-sweep balance
+    assert _chunksize(1, 16) == 1

@@ -15,7 +15,11 @@ import pytest
 from repro.api import ExperimentConfig, experiment, get_spec, list_specs, run_spec
 from repro.core.encoding import StateEncoder
 from repro.core.errors import InvalidParameterError, ScheduleExhaustedError, StateSpaceError
-from repro.core.fast_simulator import BatchedSimulation
+from repro.core.fast_simulator import (
+    BatchedSimulation,
+    NumpySimulation,
+    numpy_available,
+)
 from repro.core.rng import RandomSource
 from repro.core.scheduler import SequenceScheduler
 from repro.core.simulator import Simulation
@@ -159,8 +163,11 @@ def test_batched_engine_rejects_observers():
 # Engine selection through the spec / executor / builder layers
 # ---------------------------------------------------------------------- #
 def test_auto_engine_selection_per_spec():
+    # 96 declared states: angluin-modk encodes, so auto picks the fastest
+    # applicable table tier (numpy when installed, batched otherwise).
+    table_tier = NumpySimulation if numpy_available() else BatchedSimulation
     cases = {
-        "angluin-modk": BatchedSimulation,  # 96 declared states: encodes
+        "angluin-modk": table_tier,
         "ppl": Simulation,                  # too many states: falls back
         "fischer-jiang": OracleSimulation,  # custom factory: step engine
     }
@@ -199,14 +206,24 @@ def test_run_spec_results_are_identical_across_engines():
     auto = run_spec("angluin-modk", 9, config, engine="auto")
     assert step.steps == batched.steps == auto.steps
     assert step.failures == batched.failures == auto.failures
+    if numpy_available():
+        vectorized = run_spec("angluin-modk", 9, config, engine="numpy")
+        assert vectorized.steps == step.steps
+        assert vectorized.failures == step.failures
 
 
 def test_builder_reports_the_engine_that_ran():
-    batched = (experiment("angluin-modk").on_ring(9).trials(2)
-               .max_steps(400_000).engine("auto").run())
-    assert {trial.engine for trial in batched.trials} == {"batched"}
+    table_tier = "numpy" if numpy_available() else "batched"
+    auto = (experiment("angluin-modk").on_ring(9).trials(2)
+            .max_steps(400_000).engine("auto").run())
+    assert {trial.engine for trial in auto.trials} == {table_tier}
+    forced = (experiment("angluin-modk").on_ring(9).trials(2)
+              .max_steps(400_000).engine("batched").run())
+    assert {trial.engine for trial in forced.trials} == {"batched"}
     fallback = (experiment("ppl").on_ring(8).trials(1)
                 .max_steps(400_000).engine("auto").run())
     assert {trial.engine for trial in fallback.trials} == {"step"}
     with pytest.raises(ValueError):
         experiment("fischer-jiang").engine("batched")
+    with pytest.raises(ValueError):
+        experiment("fischer-jiang").engine("numpy")

@@ -76,6 +76,20 @@ def test_measure_scaling_produces_fits():
     assert series.best_fit().relative_error >= 0
 
 
+def test_scaling_series_shares_one_pool_and_matches_the_legacy_path():
+    from repro.experiments.scaling import scaling_series
+
+    legacy = [measure_scaling(run_ppl, "P_PL", TINY),
+              measure_scaling(run_yokota, "Yokota2021", TINY)]
+    for pooled in (scaling_series(TINY),              # serial
+                   scaling_series(TINY, workers=2)):  # one shared pool
+        assert [series.protocol for series in pooled] == ["P_PL", "Yokota2021"]
+        for old, new in zip(legacy, pooled):
+            assert old.sizes == new.sizes
+            assert old.mean_steps == new.mean_steps
+            assert old.best_fit().law == new.best_fit().law
+
+
 # ---------------------------------------------------------------------- #
 # Table 1 and the component experiments
 # ---------------------------------------------------------------------- #
@@ -87,6 +101,13 @@ def test_build_and_render_table1():
     assert "polylog(n)" in text
     chen = next(row for row in rows if "Chen-Chen" in row.protocol)
     assert chen.measured_mean_steps is None
+
+
+def test_table1_on_a_shared_pool_equals_the_serial_table():
+    serial = build_table1(TINY, reference_size=8)
+    pooled = build_table1(TINY, reference_size=8, workers=2)
+    assert [row.measured_mean_steps for row in serial] \
+        == [row.measured_mean_steps for row in pooled]
 
 
 def test_detection_and_elimination_measurements():
