@@ -52,7 +52,15 @@ class ConvergenceResult(Generic[StateT]):
         return self.failures == 0
 
     def summary(self) -> SampleSummary:
-        """Mean/median/min/max of the converged trials' step counts."""
+        """Mean/median/min/max of the converged trials' step counts.
+
+        An all-failed run (every trial missed its budget) degrades to
+        :meth:`SampleSummary.empty` — count 0 and NaN statistics — instead
+        of raising ``InvalidParameterError`` out of a report path: callers
+        render ``failures=trials``, not a traceback.
+        """
+        if not self.steps:
+            return SampleSummary.empty()
         return SampleSummary.of(self.steps)
 
     def mean_steps(self) -> float:

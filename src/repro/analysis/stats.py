@@ -53,6 +53,17 @@ class SampleSummary:
     maximum: float
 
     @classmethod
+    def empty(cls) -> "SampleSummary":
+        """The degenerate summary of zero measurements (count 0, NaN stats).
+
+        What an all-failed run reports instead of raising: ``count`` says
+        how many trials actually converged, the NaN statistics render as
+        ``nan`` in text and ``null`` in strict JSON.
+        """
+        nan = float("nan")
+        return cls(count=0, mean=nan, median=nan, minimum=nan, maximum=nan)
+
+    @classmethod
     def of(cls, values: Sequence[float]) -> "SampleSummary":
         if not values:
             raise InvalidParameterError("cannot summarise an empty sample")
@@ -101,18 +112,22 @@ def fit_growth_law(sizes: Sequence[int], values: Sequence[float],
     Returns ``(coefficient, relative_error)`` where the relative error is the
     root-mean-square of ``(prediction - value) / value`` — scale-free so fits
     across different laws are comparable.  Every measurement must be strictly
-    positive: a zero has no defined relative error, and silently dropping it
-    would report an error computed over fewer points than the caller supplied.
+    positive *and finite*: a zero has no defined relative error, silently
+    dropping one would report an error computed over fewer points than the
+    caller supplied, and an ``inf`` (the mean of a sweep point where no
+    trial converged) slips past a bare positivity check and corrupts the
+    least-squares coefficient into ``inf``/``nan`` without a peep.
     """
     if len(sizes) != len(values) or len(sizes) < 2:
         raise InvalidParameterError("need at least two (size, value) pairs of equal length")
     for size, value in zip(sizes, values):
-        # `not (value > 0)` rather than `value <= 0`: NaN (e.g. the mean of a
-        # sweep point where nothing converged) must be rejected too.
-        if not value > 0:
+        # `not (value > 0)` rather than `value <= 0`: NaN (e.g. an empty
+        # summary's mean) must be rejected too; inf needs its own check.
+        if not value > 0 or not math.isfinite(value):
             raise InvalidParameterError(
-                f"growth-law fits need strictly positive measurements; "
-                f"got {value!r} at n={size}"
+                f"growth-law fits need strictly positive finite measurements; "
+                f"got {value!r} at n={size} (a non-converged sweep point? "
+                f"exclude it from the fit)"
             )
     basis = [law(float(size)) for size in sizes]
     numerator = sum(b * v for b, v in zip(basis, values))

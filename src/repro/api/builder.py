@@ -69,6 +69,12 @@ class ExperimentResult:
     def all_converged(self) -> bool:
         return all(trial.converged for trial in self.trials)
 
+    @property
+    def failures(self) -> int:
+        """Trials that missed their step budget (``failures == trial_count``
+        for an all-failed run — reported, never raised)."""
+        return sum(1 for trial in self.trials if not trial.converged)
+
     def mean_steps(self) -> float:
         """Mean steps over converged trials (``inf`` when nothing converged)."""
         counts = [trial.steps for trial in self.trials if trial.converged]
@@ -88,6 +94,7 @@ class ExperimentResult:
             "workers": self.workers,
             "wall_time": self.wall_time,
             "all_converged": self.all_converged,
+            "failures": self.failures,
             "mean_steps": self.mean_steps() if self.all_converged or any(self.converged) else None,
             "trials": [trial.to_dict() for trial in self.trials],
         }
@@ -114,6 +121,7 @@ class ExperimentBuilder:
         self._engine: str = ExperimentConfig.engine
         self._topology: str = DEFAULT_TOPOLOGY
         self._topology_params: Dict[str, int] = {}
+        self._store = None
 
     # ------------------------------------------------------------------ #
     # Fluent setters (each returns the builder)
@@ -230,6 +238,39 @@ class ExperimentBuilder:
         self._workers = 1
         return self
 
+    def store(self, target, write: bool = True) -> "ExperimentBuilder":
+        """Serve and persist trials through a content-addressed results store.
+
+        ``target`` is a store root path or an existing
+        :class:`repro.store.ResultsStore` (``write`` is ignored for the
+        latter — the store object carries its own writability); ``None``
+        turns the store off (the default).  Cached trials are bit-identical
+        to freshly executed ones, and a run with more trials than the
+        stored record tops up only the missing tail.
+        """
+        from repro.store import ResultsStore
+
+        if target is None or isinstance(target, ResultsStore):
+            self._store = target
+        else:
+            self._store = ResultsStore(target, write=write)
+        return self
+
+    def no_store_write(self) -> "ExperimentBuilder":
+        """Make this chain's store use read-only (serve hits, persist nothing).
+
+        Scoped to the builder: a caller-provided store object is replaced
+        by a read-only view of the same root, never mutated — other runs
+        sharing that object keep their writability (and their counters).
+        """
+        if self._store is None:
+            raise ValueError("no_store_write() requires a store; call .store() first")
+        if self._store.write:
+            from repro.store import ResultsStore
+
+            self._store = ResultsStore(self._store.root, write=False)
+        return self
+
     # ------------------------------------------------------------------ #
     # Introspection and execution
     # ------------------------------------------------------------------ #
@@ -262,6 +303,7 @@ class ExperimentBuilder:
             "kappa_factor": self._kappa_factor,
             "workers": self._workers,
             "engine": self._engine,
+            "store": None if self._store is None else str(self._store.root),
         }
 
     def run(self) -> ExperimentResult:
@@ -272,7 +314,7 @@ class ExperimentBuilder:
             rng_label=self._spec.rng_label or self._spec.name,
         )
         started = time.perf_counter()
-        outcomes = run_trials(tasks, workers=self._workers)
+        outcomes = run_trials(tasks, workers=self._workers, store=self._store)
         wall_time = time.perf_counter() - started
         return ExperimentResult(
             spec=self._spec.name,

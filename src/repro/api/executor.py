@@ -52,7 +52,7 @@ import multiprocessing
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field as dataclass_field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.config import ExperimentConfig
@@ -70,6 +70,11 @@ class TrialTask:
     configuration_seed: int
     scheduler_seed: int
     config: ExperimentConfig
+    #: The resolved RNG stream label of the batch this trial belongs to.
+    #: Part of the batch's identity (the seeds above are derived from it),
+    #: which is how the results store addresses records; execution itself
+    #: never reads it, so worker-side reconstructions may leave it empty.
+    rng_label: str = ""
 
 
 @dataclass(frozen=True)
@@ -127,7 +132,8 @@ def trial_tasks(
     count = config.trials if trials is None else trials
     if count < 1:
         raise ValueError(f"trials must be >= 1, got {count}")
-    source = config.rng(f"{rng_label or spec_name}-{n}")
+    label = rng_label or spec_name
+    source = config.rng(f"{label}-{n}")
     tasks: List[TrialTask] = []
     for trial in range(count):
         trial_rng = source.spawn(f"trial-{trial}")
@@ -140,6 +146,7 @@ def trial_tasks(
                 configuration_seed=trial_rng.spawn("configuration").seed,
                 scheduler_seed=trial_rng.spawn("scheduler").seed,
                 config=config,
+                rng_label=label,
             )
         )
     return tasks
@@ -322,20 +329,19 @@ def _execute_light(item: _LightTask) -> TrialResult:
     ))
 
 
-def run_trials(tasks: Sequence[TrialTask],
-               workers: Optional[int] = None) -> List[TrialResult]:
-    """Execute a flat task list, serially or across worker processes.
+def _result_stream(tasks: Sequence[TrialTask], workers: Optional[int]):
+    """Yield one :class:`TrialResult` per task, in task order.
 
-    ``workers=None`` (or ``<= 1``) runs in-process; any larger value fans the
-    tasks out over one process pool.  Tasks may mix batches freely (that is
-    how :func:`run_batches` shares its pool).  Results come back in task
-    order either way, and with identical per-trial step counts (see the
-    module docstring).
+    The execution core shared by the plain and store-backed paths: serial
+    in-process for ``workers`` ``None``/``<= 1``, one process pool
+    otherwise.  A generator so the store-backed caller can persist each
+    batch the moment its last trial completes — an interrupted sweep keeps
+    every finished point.
     """
-    if workers is not None and workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
     if workers is None or workers <= 1 or len(tasks) <= 1:
-        return [execute_trial(task) for task in tasks]
+        for task in tasks:
+            yield execute_trial(task)
+        return
     # Compile each batch's shared encoder up front: under fork the workers
     # inherit the tables; under spawn each worker compiles once per batch.
     warm_shared_encoders(tasks)
@@ -357,8 +363,138 @@ def run_trials(tasks: Sequence[TrialTask],
                              mp_context=_pool_context(),
                              initializer=_init_worker,
                              initargs=(dict(enumerate(configs)),)) as pool:
-        return list(pool.map(_execute_light, items,
-                             chunksize=_chunksize(len(items), pool_size)))
+        yield from pool.map(_execute_light, items,
+                            chunksize=_chunksize(len(items), pool_size))
+
+
+def run_trials(tasks: Sequence[TrialTask],
+               workers: Optional[int] = None,
+               store=None) -> List[TrialResult]:
+    """Execute a flat task list, serially or across worker processes.
+
+    ``workers=None`` (or ``<= 1``) runs in-process; any larger value fans the
+    tasks out over one process pool.  Tasks may mix batches freely (that is
+    how :func:`run_batches` shares its pool).  Results come back in task
+    order either way, and with identical per-trial step counts (see the
+    module docstring).
+
+    ``store`` (a :class:`repro.store.ResultsStore`) serves any trial whose
+    batch record is already on disk and executes only the rest, writing
+    completed batches back; results are bit-identical to a storeless run
+    because every trial's seeds are derived per trial index before any
+    execution (a stored 20-trial batch extends to 50 by running exactly
+    trials 20..49).
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if store is None:
+        return list(_result_stream(tasks, workers))
+    return _run_stored_trials(tasks, workers, store)
+
+
+# ---------------------------------------------------------------------- #
+# Results-store integration
+# ---------------------------------------------------------------------- #
+@dataclass
+class _StoreGroup:
+    """One batch's store bookkeeping while a stored run is in flight."""
+
+    digest: str
+    cached: List[TrialResult]
+    positions: List[int] = dataclass_field(default_factory=list)
+    pending: int = 0
+
+
+def _run_stored_trials(tasks: Sequence[TrialTask], workers: Optional[int],
+                       store) -> List[TrialResult]:
+    """The store-aware executor: serve cached trials, run and persist the rest.
+
+    Tasks are grouped into batches by identity (spec, size, family, RNG
+    label, config); each batch's record is loaded once and consulted per
+    trial index.  Missing trials execute through the same serial/pool core
+    as a storeless run, and a batch is written back — cached prefix plus
+    fresh results, as one contiguous record — the moment its last missing
+    trial completes, so an interrupted sweep resumes point-by-point.
+    """
+    from repro.store.store import batch_digest
+
+    # Group strictly by digest — the record's address.  Configs differing
+    # only in non-identity fields (trials/sizes/engine) have distinct
+    # cache_key()s but the SAME digest; were they separate groups, each
+    # would hold its own stale `cached` snapshot and the last write-back
+    # could shrink a record the other group had just extended.
+    digest_by_key: Dict[Tuple, str] = {}
+    groups: Dict[str, _StoreGroup] = {}
+    ordered_groups: List[_StoreGroup] = []
+    group_of: Dict[int, _StoreGroup] = {}
+    for position, task in enumerate(tasks):
+        label = task.rng_label or task.spec_name
+        key = (task.spec_name, task.population_size, task.family, label,
+               task.config.cache_key())
+        digest = digest_by_key.get(key)
+        if digest is None:
+            digest = batch_digest(task.spec_name, task.population_size,
+                                  task.family, label, task.config)
+            digest_by_key[key] = digest
+        group = groups.get(digest)
+        if group is None:
+            group = _StoreGroup(digest=digest,
+                                cached=store.load(digest) or [])
+            groups[digest] = group
+            ordered_groups.append(group)
+        group.positions.append(position)
+        group_of[position] = group
+
+    results: List[Optional[TrialResult]] = [None] * len(tasks)
+    pending: List[int] = []
+    for group in ordered_groups:
+        for position in group.positions:
+            if tasks[position].trial < len(group.cached):
+                results[position] = group.cached[tasks[position].trial]
+            else:
+                pending.append(position)
+                group.pending += 1
+    store.served += len(tasks) - len(pending)
+    store.executed += len(pending)
+
+    stream = _result_stream([tasks[position] for position in pending], workers)
+    for position, outcome in zip(pending, stream):
+        results[position] = outcome
+        group = group_of[position]
+        group.pending -= 1
+        if group.pending == 0:
+            _write_back(store, group, tasks, results)
+    return results  # type: ignore[return-value]  # every slot is filled above
+
+
+def _write_back(store, group: _StoreGroup, tasks: Sequence[TrialTask],
+                results: Sequence[Optional[TrialResult]]) -> None:
+    """Persist one completed batch: cached trials merged with fresh ones.
+
+    Only the contiguous index prefix is stored (the record invariant that
+    keeps top-ups sound), and only when the run added trials beyond what
+    the record already held.
+    """
+    if not store.write:
+        return
+    from repro.store.store import canonical_config
+
+    merged: Dict[int, TrialResult] = dict(enumerate(group.cached))
+    for position in group.positions:
+        merged[tasks[position].trial] = results[position]
+    trials: List[TrialResult] = []
+    while len(trials) in merged:
+        trials.append(merged[len(trials)])
+    if len(trials) <= len(group.cached):
+        return
+    task = tasks[group.positions[0]]
+    store.save(group.digest, {
+        "spec": task.spec_name,
+        "population_size": task.population_size,
+        "family": task.family,
+        "rng_label": task.rng_label or task.spec_name,
+        "config": canonical_config(task.config),
+    }, trials)
 
 
 def batch_tasks(request: BatchRequest) -> List[TrialTask]:
@@ -392,7 +528,8 @@ def batch_tasks(request: BatchRequest) -> List[TrialTask]:
 
 
 def run_batches(requests: Sequence[BatchRequest],
-                workers: Optional[int] = None) -> List[List[TrialResult]]:
+                workers: Optional[int] = None,
+                store=None) -> List[List[TrialResult]]:
     """Execute many ``(protocol, n)`` batches on one shared process pool.
 
     The sweep-level fan-out: every request's trials join one flat task list
@@ -402,10 +539,15 @@ def run_batches(requests: Sequence[BatchRequest],
     label and size), so results — returned as one ``List[TrialResult]`` per
     request, in request order — are bit-identical to running each batch
     alone, serially or in parallel.
+
+    ``store`` consults the results store per batch: fully-cached points run
+    zero trials, partially-cached points top up only the missing tail, and
+    each point is persisted as soon as it completes — which is what lets an
+    interrupted sweep resume point-by-point on the next invocation.
     """
     per_batch = [batch_tasks(request) for request in requests]
     flat = [task for tasks in per_batch for task in tasks]
-    outcomes = run_trials(flat, workers=workers)
+    outcomes = run_trials(flat, workers=workers, store=store)
     grouped: List[List[TrialResult]] = []
     cursor = 0
     for tasks in per_batch:

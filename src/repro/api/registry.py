@@ -367,6 +367,7 @@ def run_spec(
     workers: Optional[int] = None,
     rng_label: Optional[str] = None,
     engine: Optional[str] = None,
+    store=None,
 ) -> ConvergenceResult:
     """Run any registered simulated protocol: the one generic adapter.
 
@@ -377,7 +378,9 @@ def run_spec(
     out over processes with identical results (see :mod:`repro.api.executor`).
     ``engine`` overrides ``config.engine`` (default ``"auto"``: the batched
     table-driven engine whenever the protocol encodes, the step loop
-    otherwise — trial outcomes are bit-identical either way).
+    otherwise — trial outcomes are bit-identical either way).  ``store`` (a
+    :class:`repro.store.ResultsStore`) serves cached trials from disk and
+    persists fresh ones, again with bit-identical results.
     """
     spec = get_spec(name)
     config = config or ExperimentConfig()
@@ -391,7 +394,7 @@ def run_spec(
         spec_name=name, population_size=n, config=config, family=family,
         trials=trials, rng_label=rng_label,
     ))
-    outcomes = run_trials(tasks, workers=workers)
+    outcomes = run_trials(tasks, workers=workers, store=store)
     # The display name rides along with every trial outcome (the workers
     # build the protocol anyway), so no throwaway instance is constructed
     # here just to read `.name`.

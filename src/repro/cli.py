@@ -15,11 +15,18 @@ protocol registered there is runnable with no CLI edits:
 * ``repro-ssle figure1``      — the segment-ID embedding rendering
 * ``repro-ssle figure2``      — the token trajectory
 * ``repro-ssle demo``         — a single annotated convergence run
+* ``repro-ssle cache``        — inspect/clear the content-addressed results store
 
 Every command accepts ``--format {text,json}``; JSON output is sanitised
 (non-finite floats become ``null``) so the results are machine-consumable.
 Sweep commands additionally accept ``--sizes``, ``--trials``, ``--max-steps``,
 ``--kappa-factor``, ``--check-interval`` and ``--seed``.
+
+``run``/``table1``/``scaling`` accept ``--store PATH`` (default: the
+``REPRO_STORE`` environment variable; off when neither is set): trial
+batches whose content address matches a stored record are served from disk
+bit-identically instead of recomputed, missing trials top the record up,
+and ``--no-store-write`` makes the store read-only.
 """
 
 from __future__ import annotations
@@ -132,13 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
                            f"(default: {DEFAULT_TOPOLOGY}; "
                            f"registered: {', '.join(topology_names())})")
 
+    storage = argparse.ArgumentParser(add_help=False)
+    storage.add_argument("--store", default=None, metavar="PATH",
+                         help="content-addressed results store root: trial "
+                              "batches already on disk are served bit-identically "
+                              "instead of recomputed, fresh ones are written back "
+                              "(default: the REPRO_STORE environment variable; "
+                              "store off when neither is set)")
+    storage.add_argument("--no-store-write", action="store_true",
+                         help="serve cached trials but write nothing back "
+                              "(requires a store via --store or REPRO_STORE)")
+
     subparsers.add_parser(
         "list", parents=[fmt],
         help="enumerate the registered protocol specs",
     )
 
     run = subparsers.add_parser(
-        "run", parents=[sweep, topo, fmt],
+        "run", parents=[sweep, topo, storage, fmt],
         help="run any registered protocol (see `repro-ssle list`)",
     )
     run.add_argument("protocol", help="a protocol spec name from `repro-ssle list`")
@@ -147,12 +165,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=_positive_int, default=1,
                      help="processes for parallel trials (default: 1 = serial)")
 
-    table1 = subparsers.add_parser("table1", parents=[sweep, fmt],
+    table1 = subparsers.add_parser("table1", parents=[sweep, storage, fmt],
                                    help="the Table-1 comparison")
     table1.add_argument("--workers", type=_positive_int, default=1,
                         help="processes shared by all table cells' trials "
                              "(default: 1 = serial)")
-    scaling = subparsers.add_parser("scaling", parents=[sweep, topo, fmt],
+    scaling = subparsers.add_parser("scaling", parents=[sweep, topo, storage, fmt],
                                     help="the Theorem-3.1 scaling sweep")
     scaling.add_argument("--leaderless", action="store_true",
                          help="start P_PL from the leaderless trap instead of "
@@ -178,6 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("demo", parents=[sweep, fmt],
                           help="a single annotated convergence run "
                                "(smallest --sizes entry; --trials is ignored)")
+    cache = subparsers.add_parser(
+        "cache", parents=[fmt],
+        help="inspect or clear the content-addressed results store",
+    )
+    cache.add_argument("action", choices=("list", "info", "clear"),
+                       help="list: one row per stored record; info: the full "
+                            "record for a digest (or a store summary without "
+                            "one); clear: delete records")
+    cache.add_argument("digest", nargs="?", default=None,
+                       help="record digest, or unambiguous prefix (info: "
+                            "required record; clear: restrict deletion)")
+    cache.add_argument("--store", default=None, metavar="PATH",
+                       help="store root (default: the REPRO_STORE "
+                            "environment variable)")
     return parser
 
 
@@ -201,6 +233,25 @@ def _require_auto_engine(args: argparse.Namespace) -> None:
             "check cadence; --check-backoff does not apply "
             "(supported by: run, table1, scaling)"
         )
+
+
+def _store_from_args(args: argparse.Namespace):
+    """The :class:`ResultsStore` the flags/environment select, or ``None``.
+
+    Precedence: ``--store PATH`` wins, the ``REPRO_STORE`` environment
+    variable is the fallback, and with neither the store is off —
+    ``--no-store-write`` alone is then a usage error (there is nothing to
+    not write to).
+    """
+    from repro.store import resolve_store
+
+    read_only = getattr(args, "no_store_write", False)
+    store = resolve_store(getattr(args, "store", None), write=not read_only)
+    if store is None and read_only:
+        raise CommandError(
+            "--no-store-write needs a store; pass --store PATH or set REPRO_STORE"
+        )
+    return store
 
 
 def _topology_from_args(args: argparse.Namespace):
@@ -284,7 +335,16 @@ def _render_run_result(result) -> str:
     mean = result.mean_steps()
     summary = (f"mean steps = {mean:.1f}" if math.isfinite(mean)
                else "mean steps = n/a (no trial converged)")
+    if result.failures:
+        summary += f", failures = {result.failures}/{result.trial_count}"
     return f"{table}\n{summary}, all converged = {result.all_converged}"
+
+
+def _render_store_line(store) -> str:
+    """One-line results-store summary appended to text reports."""
+    mode = "" if store.write else ", read-only"
+    return (f"store: {store.served} trial(s) served from cache, "
+            f"{store.executed} executed ({store.root}{mode})")
 
 
 def _render_analytic(title: str, payload: Dict[str, object]) -> str:
@@ -304,7 +364,9 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
         for flag, value, default in (("--family", args.family, None),
                                      ("--workers", args.workers, 1),
                                      ("--engine", args.engine, "auto"),
-                                     ("--topology", args.topology, DEFAULT_TOPOLOGY)):
+                                     ("--topology", args.topology, DEFAULT_TOPOLOGY),
+                                     ("--store", args.store, None),
+                                     ("--no-store-write", args.no_store_write, False)):
             if value != default:
                 raise CommandError(
                     f"protocol {spec.name!r} is analytic; {flag} does not apply"
@@ -332,6 +394,7 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
                 validate_topology(config.topology, n, **config.topology_kwargs())
             except ValueError as error:
                 raise CommandError(str(error)) from None
+    store = _store_from_args(args) if spec.is_simulated else None
     sections: List[str] = []
     results: List[Dict[str, object]] = []
     for n in config.sizes:
@@ -351,6 +414,7 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
             .check_interval(config.check_interval)
             .kappa_factor(config.kappa_factor)
             .engine(config.engine)
+            .store(store)
         )
         if args.family:
             builder.from_family(args.family)
@@ -365,7 +429,10 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
         "kind": spec.kind,
         "seed": args.seed,
         "results": results,
+        "store": store.stats() if store is not None else None,
     }
+    if store is not None:
+        sections.append(_render_store_line(store))
     return "\n\n".join(sections), payload
 
 
@@ -373,16 +440,21 @@ def _cmd_table1(args: argparse.Namespace) -> CommandOutput:
     from repro.experiments.table1 import build_table1, render_table1
 
     config = _config_from_args(args)
-    rows = build_table1(config, workers=args.workers)
-    payload = {"command": "table1", "rows": [asdict(row) for row in rows]}
-    return render_table1(rows), payload
+    store = _store_from_args(args)
+    rows = build_table1(config, workers=args.workers, store=store)
+    payload = {"command": "table1", "rows": [asdict(row) for row in rows],
+               "store": store.stats() if store is not None else None}
+    text = render_table1(rows)
+    if store is not None:
+        text = f"{text}\n{_render_store_line(store)}"
+    return text, payload
 
 
 def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
-    from repro.experiments.reporting import ascii_bar_chart
-    from repro.experiments.scaling import scaling_series
+    from repro.experiments.scaling import render_series, scaling_series
 
     config = _config_from_args(args)
+    store = _store_from_args(args)
     if len(config.sizes) < 2:
         raise CommandError("scaling needs at least two ring sizes to fit growth laws")
     # The sweep compares ring protocols (P_PL and the [28] baseline), so a
@@ -397,28 +469,80 @@ def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
         raise CommandError(str(error)) from None
     series = scaling_series(config, include_baseline=not args.no_baseline,
                             from_leaderless=args.leaderless,
-                            workers=args.workers)
+                            workers=args.workers, store=store)
 
     sections: List[str] = []
     payload_series: List[Dict[str, object]] = []
     for entry in series:
-        sections.append(ascii_bar_chart(list(zip(entry.sizes, entry.mean_steps)),
-                                        label=f"{entry.protocol}: mean steps to safety"))
-        sections.append(format_table(
-            headers=["growth law", "coefficient", "relative error"],
-            rows=[(fit.law, fit.coefficient, fit.relative_error) for fit in entry.fits],
-            title=f"{entry.protocol}: growth-law fits (best first)",
-        ))
+        sections.extend(render_series(entry))
+        best = entry.best_fit()
         payload_series.append({
             "protocol": entry.protocol,
             "sizes": entry.sizes,
             "mean_steps": entry.mean_steps,
-            "best_fit": entry.best_fit().law,
+            "failed_sizes": entry.failed_sizes,
+            "best_fit": best.law if best is not None else None,
             "fits": [asdict(fit) for fit in entry.fits],
         })
     payload = {"command": "scaling", "leaderless": args.leaderless,
-               "series": payload_series}
+               "series": payload_series,
+               "store": store.stats() if store is not None else None}
+    if store is not None:
+        sections.append(_render_store_line(store))
     return "\n\n".join(sections), payload
+
+
+def _cmd_cache(args: argparse.Namespace) -> CommandOutput:
+    store = _store_from_args(args)
+    if store is None:
+        raise CommandError(
+            "cache commands need a store; pass --store PATH or set REPRO_STORE"
+        )
+    if args.action == "list":
+        rows = store.records()
+        text = format_table(
+            headers=["digest", "spec", "n", "family", "trials", "converged",
+                     "engines", "bytes"],
+            rows=[
+                (row["digest"], row.get("spec", "(corrupt)"),
+                 row.get("population_size", "-"), row.get("family", "-"),
+                 row.get("trials", "-"), row.get("converged", "-"),
+                 ",".join(row.get("engines", [])) or "-", row["bytes"])
+                for row in rows
+            ],
+            title=f"results store {store.root} ({len(rows)} record(s))",
+        )
+        return text, {"command": "cache", "action": "list",
+                      "root": str(store.root), "records": rows}
+    if args.action == "info":
+        if args.digest is None:
+            rows = store.records()
+            summary = {
+                "root": str(store.root),
+                "records": len(rows),
+                "corrupt": sum(1 for row in rows if row["corrupt"]),
+                "trials": sum(row.get("trials", 0) for row in rows),
+                "bytes": sum(row["bytes"] for row in rows),
+            }
+            text = _render_analytic(f"results store {store.root}", summary)
+            return text, {"command": "cache", "action": "info", **summary}
+        try:
+            record = store.record_info(args.digest)
+        except (KeyError, ValueError) as error:
+            raise CommandError(str(error)) from None
+        lines = [f"record {record.get('digest', args.digest)}"]
+        for key in ("spec", "population_size", "family", "rng_label",
+                    "config", "versions", "corrupt"):
+            if key in record:
+                lines.append(f"  {key}: {record[key]}")
+        trials = record.get("trials") or []
+        lines.append(f"  trials: {len(trials)}")
+        return "\n".join(lines), {"command": "cache", "action": "info",
+                                  "record": record}
+    removed = store.clear(args.digest or "")
+    text = f"removed {removed} record(s) from {store.root}"
+    return text, {"command": "cache", "action": "clear",
+                  "root": str(store.root), "removed": removed}
 
 
 def _cmd_detection(args: argparse.Namespace) -> CommandOutput:
@@ -553,6 +677,7 @@ _HANDLERS = {
     "figure1": _cmd_figure1,
     "figure2": _cmd_figure2,
     "demo": _cmd_demo,
+    "cache": _cmd_cache,
 }
 
 

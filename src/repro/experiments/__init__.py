@@ -18,16 +18,7 @@ from repro.experiments.figures import (
     regenerate_figure1,
     regenerate_figure2,
 )
-from repro.experiments.harness import (
-    ExperimentConfig,
-    SweepResult,
-    run_angluin,
-    run_fischer_jiang,
-    run_ppl,
-    run_ppl_leaderless,
-    run_yokota,
-    sweep,
-)
+from repro.api.config import ExperimentConfig
 from repro.experiments.orientation import (
     OrientationRow,
     measure_coloring,
@@ -43,6 +34,30 @@ from repro.experiments.scaling import (
     scaling_summary,
 )
 from repro.experiments.table1 import Table1Row, build_table1, render_table1, run_and_render
+
+#: Names still re-exported from the deprecated harness shim.  Resolved
+#: lazily (PEP 562) so that merely importing :mod:`repro.experiments` does
+#: not trigger the shim's DeprecationWarning — only actually reaching for a
+#: legacy name does, which is exactly when the warning is deserved.
+_HARNESS_NAMES = frozenset({
+    "ProtocolRunner",
+    "SweepResult",
+    "run_angluin",
+    "run_fischer_jiang",
+    "run_ppl",
+    "run_ppl_leaderless",
+    "run_yokota",
+    "sweep",
+})
+
+
+def __getattr__(name: str):
+    if name in _HARNESS_NAMES:
+        from repro.experiments import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "DetectionRow",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.convergence import measure_convergence
-from repro.experiments.harness import ExperimentConfig
+from repro.api.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.protocols.ppl import (
     PPLProtocol,

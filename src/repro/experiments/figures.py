@@ -20,7 +20,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.scheduler import SequenceScheduler, token_round_trip
 from repro.core.simulator import Simulation
-from repro.experiments.harness import ExperimentConfig
+from repro.api.config import ExperimentConfig
 from repro.experiments.reporting import format_series
 from repro.protocols.ppl import (
     PPLProtocol,

@@ -13,12 +13,21 @@ builder directly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.convergence import ConvergenceResult
 from repro.api.config import ExperimentConfig
 from repro.api.registry import ensure_angluin_spec, run_spec
+
+warnings.warn(
+    "repro.experiments.harness is deprecated: import ExperimentConfig from "
+    "repro.api.config and use repro.api.run_spec / repro.api.experiment "
+    "instead of the run_* shims",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "ExperimentConfig",

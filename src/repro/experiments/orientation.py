@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.convergence import measure_convergence
 from repro.analysis.stats import ScalingFit, best_growth_law
-from repro.experiments.harness import ExperimentConfig
+from repro.api.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 from repro.protocols.orientation import (
     PORProtocol,

@@ -8,6 +8,7 @@ numeric series plus ASCII renderings.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 
@@ -38,12 +39,21 @@ def format_series(name: str, points: Sequence[tuple]) -> str:
 
 
 def ascii_bar_chart(points: Sequence[tuple], width: int = 50, label: str = "") -> str:
-    """Simple horizontal bar chart of an ``(x, value)`` series."""
+    """Simple horizontal bar chart of an ``(x, value)`` series.
+
+    Non-finite values (e.g. the ``inf`` mean of a sweep point where no
+    trial converged) get a textual marker instead of a bar — scaling by an
+    infinite maximum would turn every other row into NaN.
+    """
     if not points:
         return label
-    maximum = max(float(value) for _, value in points) or 1.0
+    finite = [float(value) for _, value in points if math.isfinite(float(value))]
+    maximum = (max(finite) if finite else 0.0) or 1.0
     lines = [label] if label else []
     for x, value in points:
+        if not math.isfinite(float(value)):
+            lines.append(f"  {x!s:>10} | (no converged trials)")
+            continue
         bar = "#" * max(1, int(round(width * float(value) / maximum)))
         lines.append(f"  {x!s:>10} | {bar} {_cell(value)}")
     return "\n".join(lines)

@@ -7,41 +7,73 @@ mean steps-to-safety of ``P_PL`` (and optionally of [28] for the head-to-head
 comparison), and fits the measurements against the candidate growth laws so
 the report can state which law the data follows — the "shape" reproduction of
 the paper's headline claim.
+
+Sweep points where *no* trial converged within the step budget have no mean
+(the mean over converged trials is ``inf``); they are excluded from the
+growth-law fits and reported in :attr:`ScalingSeries.failed_sizes` instead —
+feeding an ``inf`` into the least-squares fit would corrupt every
+coefficient silently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import ScalingFit, best_growth_law
 from repro.api.config import ExperimentConfig
 from repro.api.executor import BatchRequest, run_batches
 from repro.api.registry import collect_convergence
-from repro.experiments.harness import (
-    ProtocolRunner,
-    run_ppl,
-    run_yokota,
-    sweep,
-)
 from repro.experiments.reporting import ascii_bar_chart, format_table
+
+if TYPE_CHECKING:  # the deprecated harness shim is only a type source here
+    from repro.experiments.harness import ProtocolRunner
 
 
 @dataclass
 class ScalingSeries:
-    """Mean convergence steps across a size sweep plus its growth-law fits."""
+    """Mean convergence steps across a size sweep plus its growth-law fits.
+
+    ``failed_sizes`` lists the sweep points where no trial converged within
+    the budget: their means are non-finite, they contribute nothing to
+    ``fits`` (which may be empty when fewer than two points remain), and
+    reports flag them instead of charting them.
+    """
 
     protocol: str
     sizes: List[int]
     mean_steps: List[float]
     fits: List[ScalingFit]
+    failed_sizes: List[int] = field(default_factory=list)
 
-    def best_fit(self) -> ScalingFit:
-        """The growth law with the smallest relative error."""
-        return self.fits[0]
+    def best_fit(self) -> Optional[ScalingFit]:
+        """The growth law with the smallest relative error (``None`` when
+        too few points converged for any fit)."""
+        return self.fits[0] if self.fits else None
 
 
-def measure_scaling(runner: ProtocolRunner, label: str,
+def fit_converged_points(sizes: Sequence[int], means: Sequence[float],
+                         ) -> Tuple[List[ScalingFit], List[int]]:
+    """Growth-law fits over the converged points only, plus the failed sizes.
+
+    A point whose mean is non-finite (no trial converged: ``inf``; or an
+    empty summary: ``nan``) is excluded from the least-squares fit — it has
+    no defined relative error and would silently corrupt the coefficients —
+    and returned in the second element so callers can flag it.  Fewer than
+    two finite points fit nothing (empty list).
+    """
+    converged = [(n, mean) for n, mean in zip(sizes, means)
+                 if math.isfinite(mean)]
+    failed = [n for n, mean in zip(sizes, means) if not math.isfinite(mean)]
+    if len(converged) < 2:
+        return [], failed
+    return (best_growth_law([n for n, _ in converged],
+                            [mean for _, mean in converged]),
+            failed)
+
+
+def measure_scaling(runner: "ProtocolRunner", label: str,
                     config: ExperimentConfig,
                     sizes: Optional[Sequence[int]] = None) -> ScalingSeries:
     """Sweep one protocol and fit its mean steps against the growth laws.
@@ -51,11 +83,17 @@ def measure_scaling(runner: ProtocolRunner, label: str,
     :func:`scaling_series`, which drains every point's trials from one
     shared process pool.
     """
-    result = sweep(runner, config, label, sizes=sizes)
-    swept_sizes = result.sizes()
-    means = result.mean_steps()
-    fits = best_growth_law(swept_sizes, means)
-    return ScalingSeries(protocol=label, sizes=swept_sizes, mean_steps=means, fits=fits)
+    # One runner call per size, keyed and deduplicated like the legacy
+    # SweepResult (results are keyed by n) — inlined so this non-deprecated
+    # entry point does not import the deprecated harness shim (and trip its
+    # DeprecationWarning) just for a three-line loop.
+    results = {n: runner(n, config)
+               for n in (sizes if sizes is not None else config.sizes)}
+    swept_sizes = sorted(results)
+    means = [results[n].mean_steps() for n in swept_sizes]
+    fits, failed = fit_converged_points(swept_sizes, means)
+    return ScalingSeries(protocol=label, sizes=swept_sizes, mean_steps=means,
+                         fits=fits, failed_sizes=failed)
 
 
 #: One sweep entry: (spec name, family or None, rng label or None, display label).
@@ -84,13 +122,20 @@ def scaling_series(config: Optional[ExperimentConfig] = None,
                    include_baseline: bool = True,
                    from_leaderless: bool = False,
                    workers: Optional[int] = None,
-                   sizes: Optional[Sequence[int]] = None) -> List[ScalingSeries]:
+                   sizes: Optional[Sequence[int]] = None,
+                   store=None) -> List[ScalingSeries]:
     """Measure the whole sweep on one shared process pool and fit every series.
 
     Every ``(protocol, n)`` point of the sweep contributes its trials to one
     flat task list executed by a single pool (``workers`` processes; ``None``
     or 1 = serial), so the pool never idles between points.  Results are
     bit-identical to the serial :func:`measure_scaling` path.
+
+    ``store`` (a :class:`repro.store.ResultsStore`) serves already-computed
+    points from disk and persists each point as it completes: a repeated
+    sweep recomputes nothing, an extended sweep (more trials or more sizes)
+    runs only the difference, and an interrupted sweep resumes
+    point-by-point.
     """
     config = config or ExperimentConfig()
     # Dedupe like the legacy sweep (SweepResult keys results by n), so a
@@ -103,47 +148,75 @@ def scaling_series(config: Optional[ExperimentConfig] = None,
         for spec_name, family, rng_label, _ in entries
         for n in swept_sizes
     ]
-    outcomes = run_batches(requests, workers=workers)
+    outcomes = run_batches(requests, workers=workers, store=store)
     series: List[ScalingSeries] = []
     for position, (_, _, _, label) in enumerate(entries):
         means = []
         for offset, n in enumerate(swept_sizes):
             batch = outcomes[position * len(swept_sizes) + offset]
             means.append(collect_convergence(label, n, batch).mean_steps())
-        fits = best_growth_law(swept_sizes, means)
+        fits, failed = fit_converged_points(swept_sizes, means)
         series.append(ScalingSeries(protocol=label, sizes=list(swept_sizes),
-                                    mean_steps=means, fits=fits))
+                                    mean_steps=means, fits=fits,
+                                    failed_sizes=failed))
     return series
+
+
+def render_series(entry: ScalingSeries) -> List[str]:
+    """The text sections for one series: chart, failure flags, fit table."""
+    sections = [ascii_bar_chart(list(zip(entry.sizes, entry.mean_steps)),
+                                label=f"{entry.protocol}: mean steps to safety")]
+    if entry.failed_sizes:
+        sections.append(
+            f"{entry.protocol}: no trial converged at n = "
+            f"{', '.join(str(n) for n in entry.failed_sizes)} "
+            "(excluded from the fits; raise --max-steps)"
+        )
+    if entry.fits:
+        sections.append(format_table(
+            headers=["growth law", "coefficient", "relative error"],
+            rows=[(fit.law, fit.coefficient, fit.relative_error)
+                  for fit in entry.fits],
+            title=f"{entry.protocol}: growth-law fits (best first)",
+        ))
+    else:
+        sections.append(
+            f"{entry.protocol}: no growth-law fits — fewer than two sweep "
+            "points converged"
+        )
+    return sections
 
 
 def scaling_report(config: Optional[ExperimentConfig] = None,
                    include_baseline: bool = True,
                    from_leaderless: bool = False,
-                   workers: Optional[int] = None) -> str:
+                   workers: Optional[int] = None,
+                   store=None) -> str:
     """Text report: the measured series, the bar chart, and the fitted laws."""
     config = config or ExperimentConfig()
     series = scaling_series(config, include_baseline=include_baseline,
-                            from_leaderless=from_leaderless, workers=workers)
+                            from_leaderless=from_leaderless, workers=workers,
+                            store=store)
 
     sections: List[str] = []
     for entry in series:
-        points = list(zip(entry.sizes, entry.mean_steps))
-        sections.append(ascii_bar_chart(points, label=f"{entry.protocol}: mean steps to safety"))
-        sections.append(
-            format_table(
-                headers=["growth law", "coefficient", "relative error"],
-                rows=[(fit.law, fit.coefficient, fit.relative_error) for fit in entry.fits],
-                title=f"{entry.protocol}: growth-law fits (best first)",
-            )
-        )
+        sections.extend(render_series(entry))
     return "\n\n".join(sections)
 
 
-def scaling_summary(config: Optional[ExperimentConfig] = None) -> Dict[str, str]:
-    """Machine-readable summary: protocol -> best-fitting growth law."""
+def scaling_summary(config: Optional[ExperimentConfig] = None,
+                    ) -> Dict[str, Optional[str]]:
+    """Machine-readable summary: protocol -> best-fitting growth law
+    (``None`` when too few points converged to fit one)."""
+    from repro.api.registry import runner_for
+
     config = config or ExperimentConfig()
-    summary: Dict[str, str] = {}
-    for runner, label in ((run_ppl, "P_PL"), (run_yokota, "Yokota2021")):
+    summary: Dict[str, Optional[str]] = {}
+    # runner_for reproduces the harness shims' streams exactly (same spec
+    # rng labels and families) without importing the deprecated module.
+    for runner, label in ((runner_for("ppl", family="adversarial"), "P_PL"),
+                          (runner_for("yokota2021"), "Yokota2021")):
         series = measure_scaling(runner, label, config)
-        summary[label] = series.best_fit().law
+        best = series.best_fit()
+        summary[label] = best.law if best else None
     return summary

@@ -42,7 +42,8 @@ class Table1Row:
 
 def build_table1(config: ExperimentConfig, reference_size: Optional[int] = None,
                  angluin_k: int = 2,
-                 workers: Optional[int] = None) -> List[Table1Row]:
+                 workers: Optional[int] = None,
+                 store=None) -> List[Table1Row]:
     """Measure every executable protocol at ``reference_size`` and assemble Table 1.
 
     ``reference_size`` defaults to the largest configured ring size; it must
@@ -52,7 +53,10 @@ def build_table1(config: ExperimentConfig, reference_size: Optional[int] = None,
     All four simulated cells contribute their trials to one flat task list
     executed on one shared process pool (``workers`` processes; ``None`` or
     1 = serial), with results bit-identical to running the cells one
-    ``run_spec`` call at a time.
+    ``run_spec`` call at a time.  ``store`` (a
+    :class:`repro.store.ResultsStore`) serves cached cells from disk and
+    persists fresh ones per cell, so an interrupted table resumes where it
+    stopped.
     """
     n = reference_size or max(config.sizes)
     angluin_n = n if n % angluin_k != 0 else n + 1
@@ -64,6 +68,7 @@ def build_table1(config: ExperimentConfig, reference_size: Optional[int] = None,
         [BatchRequest(spec_name=spec_name, population_size=size, config=config)
          for spec_name, size in cells],
         workers=workers,
+        store=store,
     )
     ppl_result, yokota_result, fischer_result, angluin_result = (
         collect_convergence(batch[0].protocol_name or spec_name, size, batch)

@@ -1,0 +1,30 @@
+"""Content-addressed results store (see :mod:`repro.store.store`).
+
+Public surface::
+
+    from repro.store import ResultsStore, batch_digest, resolve_store
+
+Pass a :class:`ResultsStore` (or construct one via :func:`resolve_store`)
+to ``run_trials`` / ``run_batches`` / ``run_spec`` / the builder's
+``.store()`` / ``scaling_series`` / ``build_table1`` to have trial batches
+served from disk when their content address matches, with only missing
+trials executed and results written back for the next run.
+"""
+
+from repro.store.store import (
+    ENV_VAR,
+    SCHEMA_VERSION,
+    ResultsStore,
+    batch_digest,
+    canonical_config,
+    resolve_store,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "SCHEMA_VERSION",
+    "ResultsStore",
+    "batch_digest",
+    "canonical_config",
+    "resolve_store",
+]

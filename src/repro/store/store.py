@@ -1,0 +1,328 @@
+"""Content-addressed results store: trial batches keyed by what produced them.
+
+Every trial in this repo is a pure function of ``(spec name, population
+size, family, ExperimentConfig)``: the per-trial seeds are derived from the
+config's master seed by a stable blake2b chain (:meth:`RandomSource.spawn`),
+so running the same batch twice — on any engine tier, serially or across
+worker processes — produces bit-identical :class:`TrialResult` records.
+This module exploits that purity: a batch's results are persisted under a
+digest of exactly the inputs that determine them, and a later run with the
+same identity is served from disk instead of recomputed.
+
+Key derivation
+--------------
+:func:`batch_digest` hashes, with blake2b, the canonical JSON of
+
+* the spec name, the population size, the configuration family, and the
+  resolved RNG label (the label is part of the seed-derivation chain, so
+  two batches that differ only in it must never share records);
+* the :class:`ExperimentConfig` fields that affect trial outcomes —
+  everything except ``sizes`` (the population size is keyed separately),
+  ``trials`` (the trial *count* is extendable: seeds are derived per trial
+  index, so a stored 20-trial batch is a bit-identical prefix of the same
+  batch at 50 trials), and ``engine`` (every engine tier produces identical
+  results by construction — asserted by the cross-engine identity suites —
+  so a batch computed on one tier serves requests for any other); future
+  config fields are included automatically, mirroring
+  :meth:`ExperimentConfig.cache_key`;
+* :data:`SCHEMA_VERSION`, so a record format change invalidates every old
+  record instead of misreading it.
+
+Records
+-------
+One JSON file per digest under ``<root>/<digest[:2]>/<digest>.json``,
+written atomically (temp file + rename).  Records carry the full key fields
+and the engine that actually executed each trial, so ``repro-ssle cache
+info`` can explain any record and tests can assert a warm hit is
+bit-identical to a cold run.  A record that fails validation — truncated,
+garbage, wrong schema, non-contiguous trial indices — is treated as a miss
+and recomputed (and overwritten on the next write), never raised.
+
+The store is off by default: it activates only through an explicit path
+(CLI ``--store`` / the ``store=`` parameters) or the :data:`ENV_VAR`
+environment variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.config import ExperimentConfig
+from repro.api.executor import TrialResult
+
+#: Bump on any record-format or key-derivation change: old records then
+#: miss (different digests) instead of being misread.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the default store root (CLI ``--store`` and
+#: explicit ``store=`` arguments take precedence).
+ENV_VAR = "REPRO_STORE"
+
+#: Config fields that do not affect per-trial outcomes (see module docstring).
+_NON_IDENTITY_FIELDS = frozenset({"sizes", "trials", "engine"})
+
+#: TrialResult fields, in record order, with their required JSON types.
+_TRIAL_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("trial", int),
+    ("steps", int),
+    ("converged", bool),
+    ("wall_time", float),
+    ("engine", str),
+    ("protocol_name", str),
+)
+
+
+def canonical_config(config: ExperimentConfig) -> Dict[str, object]:
+    """The config's identity-bearing fields as a JSON-ready mapping.
+
+    Derived from the dataclass fields minus :data:`_NON_IDENTITY_FIELDS`,
+    so a future config field can never be silently left out of the store
+    key (the same guarantee :meth:`ExperimentConfig.cache_key` gives the
+    in-process caches).
+    """
+    payload: Dict[str, object] = {}
+    for field in dataclasses.fields(config):
+        if field.name in _NON_IDENTITY_FIELDS:
+            continue
+        value = getattr(config, field.name)
+        if isinstance(value, tuple):
+            value = [list(item) if isinstance(item, tuple) else item
+                     for item in value]
+        payload[field.name] = value
+    return payload
+
+
+def batch_digest(spec_name: str, population_size: int, family: str,
+                 rng_label: str, config: ExperimentConfig) -> str:
+    """The content address of one trial batch (stable hex digest)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "spec": spec_name,
+        "population_size": population_size,
+        "family": family,
+        "rng_label": rng_label,
+        "config": canonical_config(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ResultsStore:
+    """A directory of content-addressed trial-batch records.
+
+    ``write=False`` makes the store read-only: cached trials are still
+    served, but completed batches are not persisted (CLI
+    ``--no-store-write``).  The ``served``/``executed`` counters are
+    maintained by the executor so callers — the CLI's JSON payloads, the CI
+    reuse gate — can assert how much work a run actually did.
+    """
+
+    def __init__(self, root: "str | os.PathLike", write: bool = True) -> None:
+        self.root = Path(root)
+        self.write = write
+        #: Trials served from cached records during this process's runs.
+        self.served = 0
+        #: Trials actually executed (cache misses and top-ups).
+        self.executed = 0
+
+    @classmethod
+    def from_env(cls, write: bool = True) -> "Optional[ResultsStore]":
+        """The store named by :data:`ENV_VAR`, or ``None`` when unset/empty."""
+        root = os.environ.get(ENV_VAR, "").strip()
+        return cls(root, write=write) if root else None
+
+    # ------------------------------------------------------------------ #
+    # Record IO
+    # ------------------------------------------------------------------ #
+    def record_path(self, digest: str) -> Path:
+        """Where ``digest``'s record lives (two-level fan-out directory)."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def load(self, digest: str) -> Optional[List[TrialResult]]:
+        """The stored trials for ``digest``, or ``None`` on miss/corruption.
+
+        Trials come back ordered by trial index, a contiguous prefix
+        ``0..m-1`` — the validated invariant that makes partial top-ups
+        (extend a stored batch by running only the missing tail) sound.
+        """
+        record = self._read_record(self.record_path(digest))
+        if record is None or record.get("digest") != digest:
+            return None
+        return _validate_trials(record.get("trials"))
+
+    def save(self, digest: str, meta: Dict[str, object],
+             trials: Sequence[TrialResult]) -> None:
+        """Persist one batch record atomically (no-op for read-only stores)."""
+        if not self.write:
+            return
+        path = self.record_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": SCHEMA_VERSION,
+            "digest": digest,
+            **meta,
+            "versions": {
+                "schema": SCHEMA_VERSION,
+                "python": platform.python_version(),
+            },
+            "trials": [result.to_dict() for result in trials],
+        }
+        # Atomic publish: a reader (or a crash) can never observe a
+        # half-written record — it sees the old record or the new one.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, prefix=f".{digest}.", suffix=".tmp",
+            delete=False, encoding="utf-8",
+        )
+        try:
+            with handle:
+                json.dump(record, handle, sort_keys=True, indent=1)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Inspection / maintenance (the `repro-ssle cache` commands)
+    # ------------------------------------------------------------------ #
+    def record_digests(self) -> List[str]:
+        """Digests of every well-named record file under the root, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.root.glob("??/*.json")
+            if path.stem.startswith(path.parent.name)
+        )
+
+    def records(self) -> List[Dict[str, object]]:
+        """One summary row per stored record (corrupt records flagged)."""
+        rows: List[Dict[str, object]] = []
+        for digest in self.record_digests():
+            path = self.record_path(digest)
+            record = self._read_record(path)
+            trials = (_validate_trials(record.get("trials"))
+                      if record is not None and record.get("digest") == digest
+                      else None)
+            if trials is None:
+                rows.append({"digest": digest, "corrupt": True,
+                             "bytes": path.stat().st_size})
+                continue
+            rows.append({
+                "digest": digest,
+                "corrupt": False,
+                "spec": record.get("spec"),
+                "population_size": record.get("population_size"),
+                "family": record.get("family"),
+                "trials": len(trials),
+                "converged": sum(1 for trial in trials if trial.converged),
+                "engines": sorted({trial.engine for trial in trials}),
+                "bytes": path.stat().st_size,
+            })
+        return rows
+
+    def record_info(self, digest_prefix: str) -> Dict[str, object]:
+        """The full record whose digest starts with ``digest_prefix``.
+
+        Raises :class:`KeyError` on no match and :class:`ValueError` on an
+        ambiguous prefix, with the candidates named.
+        """
+        matches = [digest for digest in self.record_digests()
+                   if digest.startswith(digest_prefix)]
+        if not matches:
+            raise KeyError(
+                f"no record with digest prefix {digest_prefix!r} in {self.root}"
+            )
+        if len(matches) > 1:
+            raise ValueError(
+                f"digest prefix {digest_prefix!r} is ambiguous: "
+                f"{', '.join(matches)}"
+            )
+        record = self._read_record(self.record_path(matches[0]))
+        if record is None:
+            return {"digest": matches[0], "corrupt": True}
+        record.setdefault("corrupt",
+                          _validate_trials(record.get("trials")) is None)
+        return record
+
+    def clear(self, digest_prefix: str = "") -> int:
+        """Delete records (all, or those matching a digest prefix); count them."""
+        removed = 0
+        for digest in self.record_digests():
+            if digest.startswith(digest_prefix):
+                self.record_path(digest).unlink()
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """This process's reuse counters plus the store location (JSON-ready)."""
+        return {
+            "root": str(self.root),
+            "write": self.write,
+            "served": self.served,
+            "executed": self.executed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultsStore(root={str(self.root)!r}, write={self.write})"
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _read_record(path: Path) -> Optional[Dict[str, object]]:
+        """Parse one record file; any defect is a miss, never an exception."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+            return None
+        return record
+
+
+def _validate_trials(raw: object) -> Optional[List[TrialResult]]:
+    """Rebuild a record's trial list, or ``None`` when anything is off.
+
+    Checks every field's presence and type and that the trial indices form
+    the contiguous prefix ``0..m-1`` (partial top-ups extend records by
+    index, so a gap would silently misattribute seeds to trials).
+    """
+    if not isinstance(raw, list):
+        return None
+    trials: List[TrialResult] = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            return None
+        values = {}
+        for name, kind in _TRIAL_FIELDS:
+            value = entry.get(name)
+            if kind is float and isinstance(value, int) and not isinstance(value, bool):
+                value = float(value)
+            if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+                return None
+            values[name] = value
+        if values["trial"] != index:
+            return None
+        trials.append(TrialResult(**values))
+    return trials
+
+
+def resolve_store(path: "str | os.PathLike | None" = None,
+                  write: bool = True) -> Optional[ResultsStore]:
+    """The store an explicit ``path`` or the environment selects (else ``None``).
+
+    The precedence every entry point shares: an explicit path wins, the
+    :data:`ENV_VAR` environment variable is the fallback, and with neither
+    set the store is off and behavior is exactly pre-store.
+    """
+    if path is not None and str(path).strip():
+        return ResultsStore(path, write=write)
+    return ResultsStore.from_env(write=write)

@@ -24,6 +24,7 @@ def test_builder_defaults_match_experiment_config():
         "kappa_factor": ExperimentConfig.kappa_factor,
         "workers": 1,
         "engine": ExperimentConfig.engine,
+        "store": None,
     }
 
 

@@ -18,6 +18,13 @@ from repro.topology.ring import DirectedRing, UndirectedRing
 SMALL_N = 12
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_results_store(monkeypatch):
+    """Keep the suite hermetic: an operator's REPRO_STORE must not leak
+    cached trials into tests that expect to execute (or assert counters)."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+
+
 @pytest.fixture
 def rng() -> RandomSource:
     return RandomSource(12345)

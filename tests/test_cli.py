@@ -361,3 +361,161 @@ def test_figure1_command_prints_embedding(capsys):
     captured = capsys.readouterr()
     assert exit_code == 0
     assert "perfect=True" in captured.out
+
+
+# ---------------------------------------------------------------------- #
+# All-failed runs (regression: reports, not tracebacks)
+# ---------------------------------------------------------------------- #
+def test_run_all_failed_reports_failures_in_text_and_json(capsys):
+    assert main(["run", "ppl", "--sizes", "8", "--trials", "2",
+                 "--max-steps", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "mean steps = n/a (no trial converged)" in out
+    assert "failures = 2/2" in out
+    assert main(["run", "ppl", "--sizes", "8", "--trials", "2",
+                 "--max-steps", "64", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    result = payload["results"][0]
+    assert result["all_converged"] is False
+    assert result["failures"] == 2
+    assert result["mean_steps"] is None
+
+
+def test_scaling_all_failed_points_are_flagged_not_a_crash(capsys):
+    """Regression: an all-failed sweep crashed in ascii_bar_chart (NaN from
+    inf/inf) after feeding inf means toward the growth-law fits."""
+    assert main(["scaling", "--sizes", "8,16", "--trials", "1",
+                 "--max-steps", "64", "--no-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "no trial converged at n = 8, 16" in out
+    assert "no growth-law fits" in out
+    assert main(["scaling", "--sizes", "8,16", "--trials", "1",
+                 "--max-steps", "64", "--no-baseline",
+                 "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    entry = payload["series"][0]
+    assert entry["failed_sizes"] == [8, 16]
+    assert entry["best_fit"] is None and entry["fits"] == []
+    assert entry["mean_steps"] == [None, None]  # strict JSON: inf -> null
+
+
+# ---------------------------------------------------------------------- #
+# --store / --no-store-write / cache
+# ---------------------------------------------------------------------- #
+def test_run_store_round_trip_executes_nothing_twice(tmp_path, capsys):
+    base = ["run", "angluin-modk", "--sizes", "5", "--trials", "2",
+            "--max-steps", "600000", "--store", str(tmp_path),
+            "--format", "json"]
+    assert main(base) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["store"]["executed"] == 2 and cold["store"]["served"] == 0
+    assert main(base) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["store"]["executed"] == 0 and warm["store"]["served"] == 2
+    strip = lambda result: {key: value for key, value in result.items()
+                            if key != "wall_time"}
+    assert [strip(r) for r in warm["results"]] == \
+        [strip(r) for r in cold["results"]]
+    assert warm["results"][0]["trials"] == cold["results"][0]["trials"]
+
+
+def test_store_env_var_enables_the_store(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+    args = ["run", "angluin-modk", "--sizes", "5", "--trials", "1",
+            "--max-steps", "600000", "--format", "json"]
+    assert main(args) == 0
+    assert json.loads(capsys.readouterr().out)["store"]["executed"] == 1
+    assert main(args) == 0
+    assert json.loads(capsys.readouterr().out)["store"]["served"] == 1
+
+
+def test_no_store_write_serves_but_persists_nothing(tmp_path, capsys):
+    base = ["run", "angluin-modk", "--sizes", "5", "--trials", "1",
+            "--max-steps", "600000", "--store", str(tmp_path)]
+    assert main(base + ["--no-store-write", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["store"]["write"] is False
+    assert not any(tmp_path.rglob("*.json"))
+
+
+def test_no_store_write_without_a_store_is_a_usage_error(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    with pytest.raises(SystemExit):
+        main(["run", "angluin-modk", "--sizes", "5", "--no-store-write"])
+    assert "--no-store-write needs a store" in capsys.readouterr().err
+
+
+def test_store_flags_rejected_on_analytic_specs(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "chen-chen", "--sizes", "8", "--store", "/tmp/x"])
+    assert "--store does not apply" in capsys.readouterr().err
+
+
+def test_table1_store_round_trip(tmp_path, capsys):
+    base = ["table1", "--sizes", "5", "--trials", "1",
+            "--max-steps", "600000", "--store", str(tmp_path),
+            "--format", "json"]
+    assert main(base) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["store"]["executed"] > 0
+    assert main(base) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["store"]["executed"] == 0
+    assert warm["rows"] == cold["rows"]
+
+
+def test_cache_list_info_clear_cycle(tmp_path, capsys):
+    assert main(["run", "angluin-modk", "--sizes", "5", "--trials", "1",
+                 "--max-steps", "600000", "--store", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "list", "--store", str(tmp_path),
+                 "--format", "json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert len(listing["records"]) == 1
+    record = listing["records"][0]
+    assert record["spec"] == "angluin-modk" and record["trials"] == 1
+
+    assert main(["cache", "info", record["digest"][:8],
+                 "--store", str(tmp_path), "--format", "json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["record"]["digest"] == record["digest"]
+    assert info["record"]["config"]["topology"] == "directed-ring"
+
+    assert main(["cache", "info", "--store", str(tmp_path),
+                 "--format", "json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["records"] == 1 and summary["corrupt"] == 0
+
+    assert main(["cache", "clear", "--store", str(tmp_path)]) == 0
+    assert "removed 1 record(s)" in capsys.readouterr().out
+    assert main(["cache", "list", "--store", str(tmp_path),
+                 "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["records"] == []
+
+
+def test_cache_without_a_store_is_a_usage_error(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    with pytest.raises(SystemExit):
+        main(["cache", "list"])
+    assert "cache commands need a store" in capsys.readouterr().err
+
+
+def test_cache_info_unknown_digest_is_a_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["cache", "info", "feedbeef", "--store", str(tmp_path)])
+    assert "no record with digest prefix" in capsys.readouterr().err
+
+
+def test_scaling_store_reuses_every_converged_point(tmp_path, capsys):
+    """The acceptance criterion: a repeated scaling sweep with --store
+    recomputes nothing and reproduces the series bit-for-bit."""
+    base = ["scaling", "--sizes", "6,8", "--trials", "1",
+            "--max-steps", "600000", "--no-baseline",
+            "--store", str(tmp_path), "--format", "json"]
+    assert main(base) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["store"]["executed"] == 2
+    assert main(base) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["store"]["executed"] == 0 and warm["store"]["served"] == 2
+    assert warm["series"] == cold["series"]
