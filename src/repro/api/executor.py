@@ -53,7 +53,7 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field as dataclass_field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.config import ExperimentConfig
 from repro.core.rng import RandomSource
@@ -329,7 +329,8 @@ def _execute_light(item: _LightTask) -> TrialResult:
     ))
 
 
-def _result_stream(tasks: Sequence[TrialTask], workers: Optional[int]):
+def _result_stream(tasks: Sequence[TrialTask], workers: Optional[int],
+                   pool: "ProcessPoolExecutor | None" = None):
     """Yield one :class:`TrialResult` per task, in task order.
 
     The execution core shared by the plain and store-backed paths: serial
@@ -337,7 +338,25 @@ def _result_stream(tasks: Sequence[TrialTask], workers: Optional[int]):
     otherwise.  A generator so the store-backed caller can persist each
     batch the moment its last trial completes — an interrupted sweep keeps
     every finished point.
+
+    ``pool`` hands execution to a caller-owned, long-lived executor (the
+    experiment service's warm pool) instead of creating one: tasks then
+    cross the process boundary whole (the pool's workers were initialized
+    long before this run's configs existed), and the pool is never shut
+    down here — many concurrent runs may share it.
+
+    On ``KeyboardInterrupt`` — or when the caller closes the generator
+    early — an owned pool is shut down *cleanly*: queued trials are
+    cancelled, in-flight trials finish so the workers exit without
+    corruption, and the interrupt is re-raised for the caller's write-back.
     """
+    if pool is not None:
+        if tasks:
+            yield from pool.map(
+                execute_trial, tasks,
+                chunksize=_chunksize(len(tasks),
+                                     getattr(pool, "_max_workers", None) or 1))
+        return
     if workers is None or workers <= 1 or len(tasks) <= 1:
         for task in tasks:
             yield execute_trial(task)
@@ -359,17 +378,35 @@ def _result_stream(tasks: Sequence[TrialTask], workers: Optional[int]):
                       task.trial, task.family, task.configuration_seed,
                       task.scheduler_seed))
     pool_size = min(workers, len(tasks))
-    with ProcessPoolExecutor(max_workers=pool_size,
-                             mp_context=_pool_context(),
-                             initializer=_init_worker,
-                             initargs=(dict(enumerate(configs)),)) as pool:
-        yield from pool.map(_execute_light, items,
-                            chunksize=_chunksize(len(items), pool_size))
+    owned = ProcessPoolExecutor(max_workers=pool_size,
+                                mp_context=_pool_context(),
+                                initializer=_init_worker,
+                                initargs=(dict(enumerate(configs)),))
+    try:
+        yield from owned.map(_execute_light, items,
+                             chunksize=_chunksize(len(items), pool_size))
+    except (KeyboardInterrupt, GeneratorExit):
+        # Drop every queued trial; the final shutdown below still waits for
+        # the in-flight ones so workers die cleanly, then the interrupt
+        # continues to the caller (which may write completed batches back).
+        owned.shutdown(wait=False, cancel_futures=True)
+        raise
+    finally:
+        owned.shutdown(wait=True)
+
+
+#: Per-result callback: ``on_result(position, task, result, served)`` with
+#: ``position`` the task's index in the sequence handed to
+#: :func:`run_trials`, and ``served`` True when the result came from the
+#: results store rather than an execution.
+OnResult = Callable[[int, TrialTask, TrialResult, bool], None]
 
 
 def run_trials(tasks: Sequence[TrialTask],
                workers: Optional[int] = None,
-               store=None) -> List[TrialResult]:
+               store=None,
+               on_result: Optional[OnResult] = None,
+               pool: "ProcessPoolExecutor | None" = None) -> List[TrialResult]:
     """Execute a flat task list, serially or across worker processes.
 
     ``workers=None`` (or ``<= 1``) runs in-process; any larger value fans the
@@ -384,12 +421,35 @@ def run_trials(tasks: Sequence[TrialTask],
     because every trial's seeds are derived per trial index before any
     execution (a stored 20-trial batch extends to 50 by running exactly
     trials 20..49).
+
+    ``on_result`` is invoked once per trial as its result becomes available
+    — store-served trials first (they are known before anything executes),
+    then executed trials in task order — which is what gives the experiment
+    service its live served/executed progress counters.  ``pool`` reuses a
+    caller-owned long-lived executor instead of creating one (see
+    :func:`_result_stream`); ``workers`` is then ignored.
+
+    A ``KeyboardInterrupt`` mid-run shuts the owned pool down cleanly
+    (queued trials cancelled, in-flight trials finished) and — on the store
+    path — writes every batch's completed contiguous trial prefix back
+    before re-raising, so an interrupted sweep resumes instead of
+    recomputing.
     """
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if store is None:
-        return list(_result_stream(tasks, workers))
-    return _run_stored_trials(tasks, workers, store)
+        stream = _result_stream(tasks, workers, pool)
+        results: List[TrialResult] = []
+        try:
+            for position, outcome in enumerate(stream):
+                results.append(outcome)
+                if on_result is not None:
+                    on_result(position, tasks[position], outcome, False)
+        except KeyboardInterrupt:
+            stream.close()  # shuts an owned pool down promptly
+            raise
+        return results
+    return _run_stored_trials(tasks, workers, store, on_result, pool)
 
 
 # ---------------------------------------------------------------------- #
@@ -406,7 +466,9 @@ class _StoreGroup:
 
 
 def _run_stored_trials(tasks: Sequence[TrialTask], workers: Optional[int],
-                       store) -> List[TrialResult]:
+                       store, on_result: Optional[OnResult] = None,
+                       pool: "ProcessPoolExecutor | None" = None,
+                       ) -> List[TrialResult]:
     """The store-aware executor: serve cached trials, run and persist the rest.
 
     Tasks are grouped into batches by identity (spec, size, family, RNG
@@ -415,6 +477,11 @@ def _run_stored_trials(tasks: Sequence[TrialTask], workers: Optional[int],
     as a storeless run, and a batch is written back — cached prefix plus
     fresh results, as one contiguous record — the moment its last missing
     trial completes, so an interrupted sweep resumes point-by-point.
+
+    A ``KeyboardInterrupt`` mid-stream additionally writes back every
+    *partially* completed batch's contiguous result prefix before
+    re-raising: a Ctrl-C can no longer lose finished trials that a resume
+    would have served from the store.
     """
     from repro.store.store import batch_digest
 
@@ -456,24 +523,42 @@ def _run_stored_trials(tasks: Sequence[TrialTask], workers: Optional[int],
                 group.pending += 1
     store.served += len(tasks) - len(pending)
     store.executed += len(pending)
+    if on_result is not None:
+        for position, cached in enumerate(results):
+            if cached is not None:
+                on_result(position, tasks[position], cached, True)
 
-    stream = _result_stream([tasks[position] for position in pending], workers)
-    for position, outcome in zip(pending, stream):
-        results[position] = outcome
-        group = group_of[position]
-        group.pending -= 1
-        if group.pending == 0:
-            _write_back(store, group, tasks, results)
+    stream = _result_stream([tasks[position] for position in pending],
+                            workers, pool)
+    try:
+        for position, outcome in zip(pending, stream):
+            results[position] = outcome
+            if on_result is not None:
+                on_result(position, tasks[position], outcome, False)
+            group = group_of[position]
+            group.pending -= 1
+            if group.pending == 0:
+                _write_back(store, group, tasks, results)
+    except KeyboardInterrupt:
+        # Shut the pool down (queued trials cancelled, in-flight finished),
+        # then persist what every unfinished batch already produced: its
+        # contiguous prefix is a valid record a resumed sweep tops up.
+        stream.close()
+        for group in ordered_groups:
+            if group.pending > 0:
+                _write_back(store, group, tasks, results)
+        raise
     return results  # type: ignore[return-value]  # every slot is filled above
 
 
 def _write_back(store, group: _StoreGroup, tasks: Sequence[TrialTask],
                 results: Sequence[Optional[TrialResult]]) -> None:
-    """Persist one completed batch: cached trials merged with fresh ones.
+    """Persist one batch: cached trials merged with whatever has finished.
 
     Only the contiguous index prefix is stored (the record invariant that
     keeps top-ups sound), and only when the run added trials beyond what
-    the record already held.
+    the record already held.  Called mid-run on an interrupt, some
+    positions may still be unfilled — they simply truncate the prefix.
     """
     if not store.write:
         return
@@ -481,7 +566,8 @@ def _write_back(store, group: _StoreGroup, tasks: Sequence[TrialTask],
 
     merged: Dict[int, TrialResult] = dict(enumerate(group.cached))
     for position in group.positions:
-        merged[tasks[position].trial] = results[position]
+        if results[position] is not None:
+            merged[tasks[position].trial] = results[position]
     trials: List[TrialResult] = []
     while len(trials) in merged:
         trials.append(merged[len(trials)])
@@ -497,12 +583,15 @@ def _write_back(store, group: _StoreGroup, tasks: Sequence[TrialTask],
     }, trials)
 
 
-def batch_tasks(request: BatchRequest) -> List[TrialTask]:
-    """Validate one sweep point and derive its trial tasks.
+def validate_batch(request: BatchRequest) -> str:
+    """Fail-fast checks for one sweep point; returns the resolved family.
 
-    Mirrors :func:`repro.api.registry.run_spec`'s fail-fast checks (engine,
-    size, topology, family) so a bad point aborts the whole sweep before any
-    trial runs, then derives seeds exactly as a standalone run would.
+    Mirrors :func:`repro.api.registry.run_spec`'s eager validation (the spec
+    must be simulated, the engine, size, topology, and family must all
+    apply) without deriving any seeds — the experiment service runs exactly
+    this at submission time so a bad request is rejected with a 400 before
+    it ever reaches the queue.  ``ValueError``/``KeyError`` carry the
+    user-facing message.
     """
     from repro.api.registry import get_spec
     from repro.topology.registry import validate_topology
@@ -521,15 +610,41 @@ def batch_tasks(request: BatchRequest) -> List[TrialTask]:
     validate_topology(config.topology, n, **config.topology_kwargs())
     family = request.family or spec.default_family
     spec.require_family(family)
+    if request.trials is not None and request.trials < 1:
+        raise ValueError(f"trials must be >= 1, got {request.trials}")
+    return family
+
+
+def batch_tasks(request: BatchRequest) -> List[TrialTask]:
+    """Validate one sweep point and derive its trial tasks.
+
+    :func:`validate_batch` carries the fail-fast checks (so a bad point
+    aborts the whole sweep before any trial runs); seeds are then derived
+    exactly as a standalone run would derive them.
+    """
+    from repro.api.registry import get_spec
+
+    family = validate_batch(request)
+    spec = get_spec(request.spec_name)
     return trial_tasks(
-        request.spec_name, n, config, family, trials=request.trials,
+        request.spec_name, request.population_size, request.config, family,
+        trials=request.trials,
         rng_label=request.rng_label or spec.rng_label or request.spec_name,
     )
 
 
+#: Per-point callback of :func:`run_batches`:
+#: ``on_point_done(index, request, outcomes)`` with ``index`` the request's
+#: position and ``outcomes`` its trial results in trial order.
+OnPointDone = Callable[[int, BatchRequest, List[TrialResult]], None]
+
+
 def run_batches(requests: Sequence[BatchRequest],
                 workers: Optional[int] = None,
-                store=None) -> List[List[TrialResult]]:
+                store=None,
+                on_point_done: Optional[OnPointDone] = None,
+                pool: "ProcessPoolExecutor | None" = None,
+                ) -> List[List[TrialResult]]:
     """Execute many ``(protocol, n)`` batches on one shared process pool.
 
     The sweep-level fan-out: every request's trials join one flat task list
@@ -543,11 +658,43 @@ def run_batches(requests: Sequence[BatchRequest],
     ``store`` consults the results store per batch: fully-cached points run
     zero trials, partially-cached points top up only the missing tail, and
     each point is persisted as soon as it completes — which is what lets an
-    interrupted sweep resume point-by-point on the next invocation.
+    interrupted sweep resume point-by-point on the next invocation.  A
+    ``KeyboardInterrupt`` mid-sweep shuts the pool down cleanly and writes
+    every batch's finished prefix back before re-raising.
+
+    ``on_point_done`` fires the moment a point's last trial result is
+    available (sweep CLIs print incremental progress with it); with a
+    store, fully-cached points fire before any execution starts, so points
+    may complete out of request order.  ``pool`` reuses a caller-owned
+    long-lived executor (see :func:`run_trials`).
     """
     per_batch = [batch_tasks(request) for request in requests]
-    flat = [task for tasks in per_batch for task in tasks]
-    outcomes = run_trials(flat, workers=workers, store=store)
+    flat: List[TrialTask] = []
+    point_of: List[int] = []
+    for index, tasks in enumerate(per_batch):
+        flat.extend(tasks)
+        point_of.extend([index] * len(tasks))
+    on_result: Optional[OnResult] = None
+    if on_point_done is not None:
+        offsets: List[int] = []
+        cursor = 0
+        for tasks in per_batch:
+            offsets.append(cursor)
+            cursor += len(tasks)
+        remaining = [len(tasks) for tasks in per_batch]
+        slots: List[List[Optional[TrialResult]]] = [
+            [None] * len(tasks) for tasks in per_batch]
+
+        def on_result(position: int, task: TrialTask, result: TrialResult,
+                      served: bool) -> None:
+            point = point_of[position]
+            slots[point][position - offsets[point]] = result
+            remaining[point] -= 1
+            if remaining[point] == 0:
+                on_point_done(point, requests[point], list(slots[point]))
+
+    outcomes = run_trials(flat, workers=workers, store=store,
+                          on_result=on_result, pool=pool)
     grouped: List[List[TrialResult]] = []
     cursor = 0
     for tasks in per_batch:

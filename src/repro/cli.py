@@ -16,6 +16,9 @@ protocol registered there is runnable with no CLI edits:
 * ``repro-ssle figure2``      — the token trajectory
 * ``repro-ssle demo``         — a single annotated convergence run
 * ``repro-ssle cache``        — inspect/clear the content-addressed results store
+* ``repro-ssle serve``        — the async experiment service: a job-lifecycle
+  HTTP/JSON API over one warm, shared worker pool (see
+  :mod:`repro.service`)
 
 Every command accepts ``--format {text,json}``; JSON output is sanitised
 (non-finite floats become ``null``) so the results are machine-consumable.
@@ -48,7 +51,7 @@ from repro.api import (
 from repro.api.config import DEFAULT_TOPOLOGY, freeze_topology_params
 from repro.core.errors import StateSpaceError, TopologyError
 from repro.core.fast_simulator import ENGINES
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import format_table, jsonable
 from repro.topology.registry import parse_topology, topology_names, validate_topology
 
 #: Handler result: (rendered text, JSON-ready payload).
@@ -87,6 +90,13 @@ def _non_negative_int(raw: str) -> int:
     value = int(raw)
     if value < 0:
         raise argparse.ArgumentTypeError(f"expected an integer >= 0, got {value}")
+    return value
+
+
+def _non_negative_float(raw: str) -> float:
+    value = float(raw)
+    if not (value >= 0):  # also rejects NaN
+        raise argparse.ArgumentTypeError(f"expected a number >= 0, got {raw}")
     return value
 
 
@@ -181,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="processes shared by the whole sweep's trials, "
                               "across all (protocol, n) points "
                               "(default: 1 = serial)")
+    scaling.add_argument("--progress", action="store_true",
+                         help="print one line to stderr as each "
+                              "(protocol, n) sweep point completes")
     subparsers.add_parser("detection", parents=[sweep, fmt],
                           help="leader-absence detection times (Lemma 3.7)")
     subparsers.add_parser("elimination", parents=[sweep, fmt],
@@ -203,13 +216,36 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("list", "info", "clear"),
                        help="list: one row per stored record; info: the full "
                             "record for a digest (or a store summary without "
-                            "one); clear: delete records")
+                            "one); clear: delete records (all, a digest "
+                            "prefix, or only those --older-than DAYS)")
     cache.add_argument("digest", nargs="?", default=None,
                        help="record digest, or unambiguous prefix (info: "
                             "required record; clear: restrict deletion)")
     cache.add_argument("--store", default=None, metavar="PATH",
                        help="store root (default: the REPRO_STORE "
                             "environment variable)")
+    cache.add_argument("--older-than", type=_non_negative_float, default=None,
+                       metavar="DAYS",
+                       help="clear only: delete records whose file is at "
+                            "least DAYS days old (fractions allowed), "
+                            "keeping everything newer")
+
+    serve = subparsers.add_parser(
+        "serve", parents=[storage, fmt],
+        help="run the async experiment service (HTTP/JSON job-lifecycle "
+             "API over one warm worker pool)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=_non_negative_int, default=8642,
+                       help="TCP port to bind; 0 picks an ephemeral port "
+                            "(default: 8642)")
+    serve.add_argument("--workers", type=_non_negative_int, default=None,
+                       help="worker processes in the shared pool; 0 runs "
+                            "trials inline (default: the CPU count)")
+    serve.add_argument("--max-jobs", type=_positive_int, default=None,
+                       help="jobs allowed to run concurrently; the rest "
+                            "stay QUEUED (default: unbounded)")
     return parser
 
 
@@ -280,19 +316,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 
 # ---------------------------------------------------------------------- #
-# JSON sanitisation
+# JSON sanitisation (shared with the experiment service's HTTP responses)
 # ---------------------------------------------------------------------- #
-def _jsonable(value: object) -> object:
-    """Recursively convert a payload to strict JSON (no Infinity/NaN)."""
-    if is_dataclass(value) and not isinstance(value, type):
-        return _jsonable(asdict(value))
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    return value
+_jsonable = jsonable
 
 
 # ---------------------------------------------------------------------- #
@@ -467,9 +493,23 @@ def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
             validate_topology(config.topology, n, **config.topology_kwargs())
     except ValueError as error:
         raise CommandError(str(error)) from None
+    on_point_done = None
+    if args.progress:
+        import itertools
+
+        counter = itertools.count(1)
+        total = len(config.sizes) * (1 if args.no_baseline else 2)
+
+        def on_point_done(point, request, results):
+            converged = sum(1 for outcome in results if outcome.converged)
+            print(f"[scaling {next(counter)}/{total}] {request.spec_name} "
+                  f"n={request.population_size}: {converged}/{len(results)} "
+                  "trial(s) converged", file=sys.stderr, flush=True)
+
     series = scaling_series(config, include_baseline=not args.no_baseline,
                             from_leaderless=args.leaderless,
-                            workers=args.workers, store=store)
+                            workers=args.workers, store=store,
+                            on_point_done=on_point_done)
 
     sections: List[str] = []
     payload_series: List[Dict[str, object]] = []
@@ -498,16 +538,19 @@ def _cmd_cache(args: argparse.Namespace) -> CommandOutput:
         raise CommandError(
             "cache commands need a store; pass --store PATH or set REPRO_STORE"
         )
+    if args.older_than is not None and args.action != "clear":
+        raise CommandError("--older-than only applies to `cache clear`")
     if args.action == "list":
         rows = store.records()
         text = format_table(
             headers=["digest", "spec", "n", "family", "trials", "converged",
-                     "engines", "bytes"],
+                     "engines", "bytes", "age (d)"],
             rows=[
                 (row["digest"], row.get("spec", "(corrupt)"),
                  row.get("population_size", "-"), row.get("family", "-"),
                  row.get("trials", "-"), row.get("converged", "-"),
-                 ",".join(row.get("engines", [])) or "-", row["bytes"])
+                 ",".join(row.get("engines", [])) or "-", row["bytes"],
+                 row.get("age_days", "-"))
                 for row in rows
             ],
             title=f"results store {store.root} ({len(rows)} record(s))",
@@ -516,15 +559,13 @@ def _cmd_cache(args: argparse.Namespace) -> CommandOutput:
                       "root": str(store.root), "records": rows}
     if args.action == "info":
         if args.digest is None:
-            rows = store.records()
-            summary = {
-                "root": str(store.root),
-                "records": len(rows),
-                "corrupt": sum(1 for row in rows if row["corrupt"]),
-                "trials": sum(row.get("trials", 0) for row in rows),
-                "bytes": sum(row["bytes"] for row in rows),
-            }
-            text = _render_analytic(f"results store {store.root}", summary)
+            summary = store.summary()
+            rendered = dict(summary)
+            ages = rendered.pop("age_days")
+            if ages is not None:
+                rendered["age"] = (f"newest {ages['newest']:.2f} d, "
+                                   f"oldest {ages['oldest']:.2f} d")
+            text = _render_analytic(f"results store {store.root}", rendered)
             return text, {"command": "cache", "action": "info", **summary}
         try:
             record = store.record_info(args.digest)
@@ -539,10 +580,33 @@ def _cmd_cache(args: argparse.Namespace) -> CommandOutput:
         lines.append(f"  trials: {len(trials)}")
         return "\n".join(lines), {"command": "cache", "action": "info",
                                   "record": record}
-    removed = store.clear(args.digest or "")
-    text = f"removed {removed} record(s) from {store.root}"
+    removed = store.clear(args.digest or "", older_than_days=args.older_than)
+    scope = (f" older than {args.older_than:g} day(s)"
+             if args.older_than is not None else "")
+    text = f"removed {removed} record(s){scope} from {store.root}"
     return text, {"command": "cache", "action": "clear",
-                  "root": str(store.root), "removed": removed}
+                  "root": str(store.root), "removed": removed,
+                  "older_than_days": args.older_than}
+
+
+def _cmd_serve(args: argparse.Namespace) -> CommandOutput:
+    import asyncio
+
+    from repro.service.http import serve
+
+    store = _store_from_args(args)
+    try:
+        asyncio.run(serve(
+            host=args.host, port=args.port, workers=args.workers,
+            store=store, max_jobs=args.max_jobs,
+            announce=lambda line: print(line, file=sys.stderr, flush=True),
+        ))
+    except KeyboardInterrupt:
+        pass  # ^C is the intended way to stop a foreground service
+    return "experiment service stopped", {
+        "command": "serve", "host": args.host, "port": args.port,
+        "store": str(store.root) if store is not None else None,
+    }
 
 
 def _cmd_detection(args: argparse.Namespace) -> CommandOutput:
@@ -678,6 +742,7 @@ _HANDLERS = {
     "figure2": _cmd_figure2,
     "demo": _cmd_demo,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

@@ -9,7 +9,27 @@ numeric series plus ASCII renderings.
 from __future__ import annotations
 
 import math
+from dataclasses import asdict, is_dataclass
 from typing import Iterable, List, Sequence
+
+
+def jsonable(value: object) -> object:
+    """Recursively convert a payload to strict JSON (no Infinity/NaN).
+
+    Dataclasses flatten to dicts, tuples to lists, and non-finite floats to
+    ``null`` — the sanitisation every machine-consumable surface (the CLI's
+    ``--format json``, the experiment service's HTTP responses) applies so
+    its output always parses under strict JSON rules.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return jsonable(asdict(value))
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],

@@ -123,7 +123,7 @@ def scaling_series(config: Optional[ExperimentConfig] = None,
                    from_leaderless: bool = False,
                    workers: Optional[int] = None,
                    sizes: Optional[Sequence[int]] = None,
-                   store=None) -> List[ScalingSeries]:
+                   store=None, on_point_done=None) -> List[ScalingSeries]:
     """Measure the whole sweep on one shared process pool and fit every series.
 
     Every ``(protocol, n)`` point of the sweep contributes its trials to one
@@ -136,6 +136,10 @@ def scaling_series(config: Optional[ExperimentConfig] = None,
     sweep recomputes nothing, an extended sweep (more trials or more sizes)
     runs only the difference, and an interrupted sweep resumes
     point-by-point.
+
+    ``on_point_done`` (an :data:`repro.api.executor.OnPointDone`) fires as
+    each ``(protocol, n)`` point completes — the CLI's ``--progress``
+    reporting and the experiment service's live status both hang off it.
     """
     config = config or ExperimentConfig()
     # Dedupe like the legacy sweep (SweepResult keys results by n), so a
@@ -148,7 +152,8 @@ def scaling_series(config: Optional[ExperimentConfig] = None,
         for spec_name, family, rng_label, _ in entries
         for n in swept_sizes
     ]
-    outcomes = run_batches(requests, workers=workers, store=store)
+    outcomes = run_batches(requests, workers=workers, store=store,
+                           on_point_done=on_point_done)
     series: List[ScalingSeries] = []
     for position, (_, _, _, label) in enumerate(entries):
         means = []

@@ -1,0 +1,103 @@
+"""The warm execution backend: one long-lived pool shared by every job.
+
+Before the service existed, every experiment invocation paid the pool
+cold-start — fork the workers, re-import the package, recompile each
+batch's ``|Q|^2`` transition table — and threw all of it away on exit.
+:class:`WarmPool` keeps ONE :class:`~concurrent.futures.ProcessPoolExecutor`
+alive for the lifetime of the service process: jobs submit their trial
+tasks to it through the same :func:`repro.api.executor.run_trials` core the
+CLI uses (so results are bit-identical), and the workers' process-local
+``shared_encoder`` caches — keyed by ``(spec, n, config)`` — survive from
+job to job, so the second job on a ``(spec, n, config)`` it has seen pays
+zero compilation anywhere.
+
+Each point runs through :meth:`run_point_async`, which pushes the blocking
+``run_trials`` call onto a worker thread: the asyncio event loop (the HTTP
+API, other jobs' bookkeeping) stays responsive while that thread merely
+waits on pool IPC.  ``workers=0`` is the inline mode — no pool, no threads'
+worth of processes — used by tests and tiny deployments; trials then
+execute serially inside the worker thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.api.executor import (
+    OnResult,
+    TrialResult,
+    TrialTask,
+    _pool_context,
+    run_trials,
+)
+
+
+class WarmPool:
+    """A long-lived process pool plus the thread hand-off jobs run through."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        #: Worker processes; 0 = inline serial execution (no pool at all).
+        self.workers = (os.cpu_count() or 1) if workers is None else workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def pool(self) -> Optional[ProcessPoolExecutor]:
+        """The shared executor, created on first use (``None`` inline)."""
+        if self.workers == 0:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                             mp_context=_pool_context())
+        return self._pool
+
+    def warm(self) -> "WarmPool":
+        """Create the pool now (servers call this at startup so the first
+        job never pays the fork cost)."""
+        self.pool
+        return self
+
+    def close(self) -> None:
+        """Shut the pool down; queued work is dropped, in-flight finishes."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "WarmPool":
+        return self.warm()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run_point(self, tasks: Sequence[TrialTask], store=None,
+                  on_result: Optional[OnResult] = None) -> List[TrialResult]:
+        """Run one point's tasks on the shared pool (blocking call).
+
+        Exactly :func:`run_trials` — store-first, bit-identical, per-trial
+        ``on_result`` progress — with the warm pool substituted for a
+        per-invocation one.
+        """
+        return run_trials(tasks, store=store, on_result=on_result,
+                          pool=self.pool)
+
+    async def run_point_async(self, tasks: Sequence[TrialTask], store=None,
+                              on_result: Optional[OnResult] = None,
+                              ) -> List[TrialResult]:
+        """Run one point without blocking the event loop.
+
+        The blocking :meth:`run_point` moves to a thread; with a real pool
+        that thread spends its life waiting on IPC, so the loop keeps
+        serving status requests while trials execute.
+        """
+        return await asyncio.to_thread(self.run_point, tasks, store,
+                                       on_result)

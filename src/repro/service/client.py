@@ -1,0 +1,118 @@
+"""A thin stdlib client for the experiment service.
+
+:class:`ServiceClient` wraps the five HTTP endpoints in direct method
+calls — submit, list, status, result, cancel — plus a :meth:`wait` helper
+that polls a job to a terminal state.  Built on :mod:`http.client` only, so
+scripts (and ``examples/service_client.py``) need nothing beyond the
+standard library; each call opens one short-lived connection, matching the
+server's one-request-per-connection design.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional
+from urllib.parse import quote, urlsplit
+
+from repro.service.jobs import JobState
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service, with the decoded payload."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Method-per-endpoint client for one experiment service."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8642",
+                 timeout: float = 60.0) -> None:
+        url = urlsplit(base_url if "//" in base_url else f"//{base_url}",
+                       scheme="http")
+        if url.scheme != "http" or not url.hostname:
+            raise ValueError(f"expected an http://host:port URL, got "
+                             f"{base_url!r}")
+        self.host = url.hostname
+        self.port = url.port or 8642
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, object]:
+        """``GET /`` — service description, pool size, job counts."""
+        return self._request("GET", "/")
+
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """``POST /jobs`` — submit an experiment request; returns the job
+        status (its ``id`` is what every other call takes)."""
+        return self._request("POST", "/jobs", body=payload)
+
+    def jobs(self, states: Optional[List[str]] = None,
+             ) -> List[Dict[str, object]]:
+        """``GET /jobs`` — job summaries, optionally filtered by state."""
+        path = "/jobs"
+        if states:
+            path += "?state=" + quote(",".join(states))
+        return self._request("GET", path)["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/{id}`` — lifecycle state plus per-point progress."""
+        return self._request("GET", f"/jobs/{quote(job_id)}")
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/{id}/result`` — the full ``run --format json``
+        payload (raises :class:`ServiceError` 409 until available)."""
+        return self._request("GET", f"/jobs/{quote(job_id)}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """``DELETE /jobs/{id}`` — request cancellation; returns status."""
+        return self._request("DELETE", f"/jobs/{quote(job_id)}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_interval: float = 0.05) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns its status.
+
+        Raises :class:`TimeoutError` if the job is still live after
+        ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in JobState.TERMINAL:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:.1f}s")
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, body=None):
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            encoded = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            headers = ({"Content-Type": "application/json"}
+                       if encoded is not None else {})
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        finally:
+            connection.close()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if response.status >= 400:
+            raise ServiceError(response.status, payload)
+        return payload

@@ -1,0 +1,257 @@
+"""The stdlib HTTP/JSON surface of the experiment service.
+
+A deliberately small HTTP/1.1 server on :func:`asyncio.start_server` — no
+framework, no ``http.server`` thread pool, no new dependencies — exposing
+the pod-style job lifecycle:
+
+===========  ======================  ===========================================
+Method       Path                    Meaning
+===========  ======================  ===========================================
+``GET``      ``/``                   service info: specs, pool size, job counts
+``POST``     ``/jobs``               submit an experiment request (201 + status)
+``GET``      ``/jobs``               list jobs; ``?state=RUNNING,QUEUED`` filters
+``GET``      ``/jobs/{id}``          status + per-point progress
+``GET``      ``/jobs/{id}/result``   full result (the CLI ``run`` JSON schema)
+``DELETE``   ``/jobs/{id}``          cancel (in-flight point finishes)
+===========  ======================  ===========================================
+
+Every response is JSON; errors carry ``{"error": message}`` with the
+obvious statuses (400 invalid request, 404 unknown job or path, 405 wrong
+method, 409 result not available yet).  One request per connection
+(``Connection: close``): clients here are test harnesses, ``curl``, and the
+thin :mod:`repro.service.client` — simplicity beats keep-alive.
+
+The handler coroutine does no experiment work itself: submissions return the
+moment the job is validated and queued, and all execution happens on the
+:class:`~repro.service.backend.WarmPool` behind the manager, so status
+requests stay fast while the pool is saturated.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api.registry import spec_names
+from repro.experiments.reporting import jsonable
+from repro.service.backend import WarmPool
+from repro.service.jobs import JobState
+from repro.service.manager import JobManager, UnknownJobError
+from repro.service.requests import ValidationError
+
+#: Hard cap on request-body size: experiment submissions are a few hundred
+#: bytes of JSON, so anything larger is a client error, not a workload.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+class ExperimentServer:
+    """The HTTP facade over one :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------ #
+    # Server lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving (``port=0`` picks an ephemeral port)."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after an ephemeral ``port=0`` start)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.close()
+
+    # ------------------------------------------------------------------ #
+    # One connection = one request
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as error:  # a handler bug must not kill the server
+            status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+        body = json.dumps(jsonable(payload), indent=1, sort_keys=True,
+                          allow_nan=False).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # the client went away; nothing to report to
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader,
+                       ) -> Tuple[int, Dict[str, object]]:
+        """Parse one HTTP request and route it (never raises on bad input)."""
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) != 3:
+                return 400, {"error": f"malformed request line: {request_line!r}"}
+            method, target, _version = parts
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                return 400, {"error": "invalid Content-Length header"}
+            if length > MAX_BODY_BYTES:
+                return 413, {"error": f"request body exceeds {MAX_BODY_BYTES} bytes"}
+            body = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return 400, {"error": "truncated request"}
+        return self.route(method.upper(), target, body)
+
+    # ------------------------------------------------------------------ #
+    # Routing (synchronous: every operation is a table lookup or a queue
+    # insertion; the pool does the actual work elsewhere)
+    # ------------------------------------------------------------------ #
+    def route(self, method: str, target: str, body: bytes = b"",
+              ) -> Tuple[int, Dict[str, object]]:
+        """Dispatch one request; returns ``(status, payload)``."""
+        url = urlsplit(target)
+        segments = [part for part in url.path.split("/") if part]
+        try:
+            if not segments:
+                return self._route_root(method)
+            if segments[0] != "jobs" or len(segments) > 3:
+                return 404, {"error": f"unknown path {url.path!r}"}
+            if len(segments) == 1:
+                return self._route_jobs(method, url.query, body)
+            if len(segments) == 2:
+                return self._route_job(method, segments[1])
+            if segments[2] != "result":
+                return 404, {"error": f"unknown path {url.path!r}"}
+            return self._route_result(method, segments[1])
+        except UnknownJobError as error:
+            return 404, {"error": str(error.args[0])}
+        except ValidationError as error:
+            return 400, {"error": str(error)}
+
+    def _route_root(self, method: str) -> Tuple[int, Dict[str, object]]:
+        if method != "GET":
+            return 405, {"error": "the service root only supports GET"}
+        jobs = self.manager.jobs()
+        return 200, {
+            "service": "repro-ssle experiment service",
+            "endpoints": ["POST /jobs", "GET /jobs", "GET /jobs/{id}",
+                          "GET /jobs/{id}/result", "DELETE /jobs/{id}"],
+            "protocols": spec_names(),
+            "states": list(JobState.ALL),
+            "pool_workers": self.manager.backend.workers,
+            "store": (self.manager.store.stats()
+                      if self.manager.store is not None else None),
+            "jobs": {state: sum(1 for job in jobs if job.state == state)
+                     for state in JobState.ALL},
+        }
+
+    def _route_jobs(self, method: str, query: str, body: bytes,
+                    ) -> Tuple[int, Dict[str, object]]:
+        if method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8") or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return 400, {"error": f"request body is not valid JSON: {error}"}
+            job = self.manager.submit(payload)
+            return 201, job.status()
+        if method == "GET":
+            states = None
+            raw = parse_qs(query).get("state")
+            if raw:
+                states = [name.strip().upper()
+                          for entry in raw for name in entry.split(",")
+                          if name.strip()]
+                try:
+                    jobs = self.manager.jobs(states)
+                except ValueError as error:
+                    return 400, {"error": str(error)}
+            else:
+                jobs = self.manager.jobs()
+            return 200, {"jobs": [job.summary() for job in jobs],
+                         "states": states}
+        return 405, {"error": "/jobs supports POST (submit) and GET (list)"}
+
+    def _route_job(self, method: str, job_id: str,
+                   ) -> Tuple[int, Dict[str, object]]:
+        if method == "GET":
+            return 200, self.manager.get(job_id).status()
+        if method == "DELETE":
+            return 200, self.manager.cancel(job_id).status()
+        return 405, {"error": "/jobs/{id} supports GET (status) and "
+                              "DELETE (cancel)"}
+
+    def _route_result(self, method: str, job_id: str,
+                      ) -> Tuple[int, Dict[str, object]]:
+        if method != "GET":
+            return 405, {"error": "/jobs/{id}/result supports GET only"}
+        job = self.manager.get(job_id)
+        if job.result is None:
+            return 409, {"error": f"job {job_id} has no result (state: "
+                                  f"{job.state})",
+                         "state": job.state}
+        return 200, job.result
+
+
+async def serve(host: str = "127.0.0.1", port: int = 8642,
+                workers: Optional[int] = None, store=None,
+                max_jobs: Optional[int] = None,
+                ready: "Optional[asyncio.Event]" = None,
+                announce=None) -> None:
+    """Run the service until cancelled (the ``repro-ssle serve`` body).
+
+    Builds the warm pool (created *now*, so the first job pays no fork
+    cost), the manager, and the server; ``ready`` is set once the socket is
+    bound, and ``announce`` (a callable taking one string) is told the
+    bound address.
+    """
+    backend = WarmPool(workers=workers).warm()
+    manager = JobManager(backend=backend, store=store, max_jobs=max_jobs)
+    server = ExperimentServer(manager)
+    try:
+        await server.start(host, port)
+        if announce is not None:
+            announce(f"serving on http://{host}:{server.port} "
+                     f"(pool: {backend.workers} worker(s), store: "
+                     f"{store.root if store is not None else 'off'})")
+        if ready is not None:
+            ready.set()
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        backend.close()

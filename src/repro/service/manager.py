@@ -1,0 +1,259 @@
+"""The asyncio job manager: the service's lifecycle brain.
+
+:class:`JobManager` accepts experiment submissions, validates them eagerly
+against the protocol/topology registries (a bad request never reaches the
+queue), assigns job IDs, and drives each job through the
+``QUEUED -> RUNNING -> DONE | FAILED | CANCELLED`` state machine as an
+asyncio task.  Execution itself goes point-by-point through the shared
+:class:`~repro.service.backend.WarmPool` with the PR-5 results store
+consulted first — a point whose record is already on disk is served without
+touching the pool at all, and every executed point is written back the
+moment it completes, so a cancelled or crashed job loses nothing that
+finished.
+
+Concurrency model: each job is one asyncio task; an optional semaphore
+bounds how many run at once (the rest stay ``QUEUED``).  Running jobs
+interleave naturally — their points' trials share the one warm pool — so a
+short job submitted after a long one does not wait for the long one to
+drain.  Cancellation is cooperative at point granularity: the in-flight
+point finishes (its write-back included), the remaining points are skipped.
+
+Results are bit-identical to the CLI path by construction: the manager runs
+the exact :func:`repro.api.executor.batch_tasks` seed derivation and
+:func:`run_trials` core a ``repro-ssle run`` would, and assembles the exact
+``run --format json`` payload shape, so a client cannot tell (except by
+wall-clock fields) whether its numbers came from the service, the CLI, or
+the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.api.builder import ExperimentResult
+from repro.api.executor import BatchRequest, TrialResult, batch_tasks
+from repro.api.registry import get_spec
+from repro.service.backend import WarmPool
+from repro.service.jobs import Job, JobState, PointProgress, validate_states
+from repro.service.requests import JobRequest
+
+
+class UnknownJobError(KeyError):
+    """No job with that ID (the HTTP layer's 404)."""
+
+
+class JobStoreView:
+    """Per-job served/executed counters over the shared results store.
+
+    The executor increments ``served``/``executed`` on whatever store object
+    it is handed; giving each job its own thin view keeps those counters
+    per-job (the status endpoint's numbers) while all reads and writes go
+    to the one real store every job shares.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self.served = 0
+        self.executed = 0
+
+    @property
+    def write(self) -> bool:
+        return self._store.write
+
+    @property
+    def root(self):
+        return self._store.root
+
+    def load(self, digest):
+        return self._store.load(digest)
+
+    def save(self, digest, meta, trials) -> None:
+        self._store.save(digest, meta, trials)
+
+    def stats(self) -> Dict[str, object]:
+        """The same shape :meth:`ResultsStore.stats` reports, job-scoped."""
+        return {
+            "root": str(self.root),
+            "write": self.write,
+            "served": self.served,
+            "executed": self.executed,
+        }
+
+
+class JobManager:
+    """Job lifecycle over a warm pool: submit, list, status, result, cancel."""
+
+    def __init__(self, backend: Optional[WarmPool] = None, store=None,
+                 max_jobs: Optional[int] = None) -> None:
+        if max_jobs is not None and max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.backend = backend or WarmPool(workers=0)
+        self.store = store
+        self._jobs: "Dict[str, Job]" = {}
+        self._tasks: "Dict[str, asyncio.Task]" = {}
+        self._ids = itertools.count(1)
+        self._slots = (asyncio.Semaphore(max_jobs)
+                       if max_jobs is not None else None)
+
+    # ------------------------------------------------------------------ #
+    # The lifecycle API
+    # ------------------------------------------------------------------ #
+    def submit(self, payload: Union[Dict[str, object], JobRequest]) -> Job:
+        """Validate a submission, queue it, and return the new job.
+
+        Validation is eager and complete — request shape, protocol, engine,
+        sizes, topology, family — so any job that exists was runnable when
+        accepted.  Raises :class:`ValidationError` otherwise.
+        """
+        request = (payload if isinstance(payload, JobRequest)
+                   else JobRequest.from_payload(payload))
+        families = request.validate()
+        job = Job(
+            id=f"job-{next(self._ids):04d}",
+            request=request,
+            points=[
+                PointProgress(spec=request.protocol, population_size=n,
+                              family=family, trials=request.config.trials)
+                for n, family in zip(request.sizes, families)
+            ],
+        )
+        self._jobs[job.id] = job
+        self._tasks[job.id] = asyncio.get_running_loop().create_task(
+            self._run_job(job), name=job.id)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(
+                f"no job {job_id!r}; known jobs: {sorted(self._jobs)}"
+            ) from None
+
+    def jobs(self, states: Optional[List[str]] = None) -> List[Job]:
+        """All jobs in submission order, optionally filtered by state."""
+        if states is not None:
+            validate_states(states)
+        return [job for job in self._jobs.values()
+                if states is None or job.state in states]
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job (idempotent; a terminal job is left untouched).
+
+        A ``QUEUED`` job is cancelled outright.  A ``RUNNING`` job gets the
+        cooperative flag: its in-flight point finishes — and is written back
+        to the store — then the remaining points are skipped.
+        """
+        job = self.get(job_id)
+        if job.state == JobState.QUEUED:
+            job.cancel_requested = True
+            job.advance(JobState.CANCELLED)
+        elif job.state == JobState.RUNNING:
+            job.cancel_requested = True
+        return job
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The job's full result payload, or ``None`` when not available."""
+        return self.get(job_id).result
+
+    async def drain(self) -> None:
+        """Wait for every submitted job's task to finish (test/shutdown aid)."""
+        tasks = list(self._tasks.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Cancel whatever still runs and wait it out (the pool stays up —
+        its owner closes it)."""
+        for job in self._jobs.values():
+            if not job.terminal:
+                job.cancel_requested = True
+        await self.drain()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    async def _run_job(self, job: Job) -> None:
+        if self._slots is None:
+            await self._execute(job)
+        else:
+            async with self._slots:
+                await self._execute(job)
+
+    async def _execute(self, job: Job) -> None:
+        if job.terminal:  # cancelled while QUEUED
+            return
+        job.advance(JobState.RUNNING)
+        store_view = (JobStoreView(self.store)
+                      if self.store is not None else None)
+        spec = get_spec(job.request.protocol)
+        results: List[Dict[str, object]] = []
+        try:
+            for index, batch in enumerate(job.request.batch_requests()):
+                point = job.points[index]
+                if job.cancel_requested:
+                    for skipped in job.points[index:]:
+                        skipped.skipped = True
+                    break
+                outcomes, wall_time = await self._run_point(
+                    job, point, batch, store_view)
+                point.done = True
+                results.append(self._point_result(
+                    job, batch, outcomes, wall_time))
+        except Exception as error:  # the job fails; the service survives
+            job.error = f"{type(error).__name__}: {error}"
+            job.advance(JobState.FAILED)
+            return
+        job.result = {
+            "command": "run",
+            "protocol": spec.name,
+            "kind": spec.kind,
+            "seed": job.request.config.seed,
+            "results": results,
+            "store": store_view.stats() if store_view is not None else None,
+        }
+        job.advance(JobState.CANCELLED if job.cancel_requested
+                    else JobState.DONE)
+
+    async def _run_point(self, job: Job, point: PointProgress,
+                         batch: BatchRequest, store_view):
+        """One point on the warm pool, with live served/executed counters."""
+        tasks = batch_tasks(batch)
+
+        def on_result(position: int, task, outcome, served: bool,
+                      ) -> None:
+            # Runs on the backend's worker thread; single attribute
+            # increments, read (not iterated) by the status endpoint.
+            if served:
+                point.served += 1
+            else:
+                point.executed += 1
+
+        started = time.perf_counter()
+        outcomes = await self.backend.run_point_async(
+            tasks, store=store_view, on_result=on_result)
+        return outcomes, time.perf_counter() - started
+
+    def _point_result(self, job: Job, batch: BatchRequest,
+                      outcomes: List[TrialResult],
+                      wall_time: float) -> Dict[str, object]:
+        """One point's result in the exact CLI ``run --format json`` shape."""
+        spec = get_spec(batch.spec_name)
+        config = job.request.config
+        result = ExperimentResult(
+            spec=batch.spec_name,
+            protocol=outcomes[0].protocol_name or spec.name,
+            population_size=batch.population_size,
+            family=batch.family or spec.default_family,
+            seed=config.seed,
+            max_steps=config.max_steps,
+            workers=max(1, self.backend.workers),
+            trials=tuple(outcomes),
+            wall_time=wall_time,
+            topology=config.topology,
+            topology_params=config.topology_params,
+        )
+        return result.to_dict()

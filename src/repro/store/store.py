@@ -51,8 +51,15 @@ import json
 import os
 import platform
 import tempfile
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # advisory per-record write locks (POSIX; saves degrade gracefully)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.api.config import ExperimentConfig
 from repro.api.executor import TrialResult
@@ -157,13 +164,52 @@ class ResultsStore:
             return None
         return _validate_trials(record.get("trials"))
 
+    @contextmanager
+    def _record_lock(self, path: Path):
+        """Advisory exclusive lock serializing writers of one record.
+
+        Concurrent top-ups of the same record group (two sweeps, two service
+        jobs) each merge cache-plus-fresh snapshots that may lag each other;
+        the lock makes the read-compare-replace in :meth:`save` atomic so
+        the longer record always survives.  Without ``fcntl`` the
+        compare-before-replace still runs — only the (tiny) read/replace
+        race window remains.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = path.parent / f".{path.stem}.lock"
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     def save(self, digest: str, meta: Dict[str, object],
              trials: Sequence[TrialResult]) -> None:
-        """Persist one batch record atomically (no-op for read-only stores)."""
+        """Persist one batch record atomically (no-op for read-only stores).
+
+        Saves never shrink a record: under the per-record lock, a valid
+        existing record holding at least as many trials wins and the save
+        is skipped — sound because every record of one digest is a prefix
+        of the same deterministic trial sequence, so the longer of two
+        concurrent write-backs is a superset of the shorter.
+        """
         if not self.write:
             return
         path = self.record_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
+        with self._record_lock(path):
+            self._replace_record(digest, meta, trials, path)
+
+    def _replace_record(self, digest: str, meta: Dict[str, object],
+                        trials: Sequence[TrialResult], path: Path) -> None:
+        existing = self._read_record(path)
+        if existing is not None and existing.get("digest") == digest:
+            current = _validate_trials(existing.get("trials"))
+            if current is not None and len(current) >= len(trials):
+                return
         record = {
             "schema": SCHEMA_VERSION,
             "digest": digest,
@@ -202,7 +248,12 @@ class ResultsStore:
         )
 
     def records(self) -> List[Dict[str, object]]:
-        """One summary row per stored record (corrupt records flagged)."""
+        """One summary row per stored record (corrupt records flagged).
+
+        ``age_days`` is the record file's age by mtime — the time of the
+        last write-back, which is what the ``--older-than`` GC evicts by.
+        """
+        now = time.time()
         rows: List[Dict[str, object]] = []
         for digest in self.record_digests():
             path = self.record_path(digest)
@@ -210,9 +261,14 @@ class ResultsStore:
             trials = (_validate_trials(record.get("trials"))
                       if record is not None and record.get("digest") == digest
                       else None)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced away by a concurrent clear
+            age_days = round(max(0.0, now - stat.st_mtime) / 86400.0, 4)
             if trials is None:
                 rows.append({"digest": digest, "corrupt": True,
-                             "bytes": path.stat().st_size})
+                             "bytes": stat.st_size, "age_days": age_days})
                 continue
             rows.append({
                 "digest": digest,
@@ -223,7 +279,8 @@ class ResultsStore:
                 "trials": len(trials),
                 "converged": sum(1 for trial in trials if trial.converged),
                 "engines": sorted({trial.engine for trial in trials}),
-                "bytes": path.stat().st_size,
+                "bytes": stat.st_size,
+                "age_days": age_days,
             })
         return rows
 
@@ -251,14 +308,58 @@ class ResultsStore:
                           _validate_trials(record.get("trials")) is None)
         return record
 
-    def clear(self, digest_prefix: str = "") -> int:
-        """Delete records (all, or those matching a digest prefix); count them."""
+    def clear(self, digest_prefix: str = "",
+              older_than_days: Optional[float] = None) -> int:
+        """Delete records and count them.
+
+        ``digest_prefix`` restricts deletion to matching digests;
+        ``older_than_days`` keeps any record written (or last topped up —
+        the mtime of its file) more recently than that many days ago.  The
+        two compose, so ``cache clear --older-than 30`` is the store's
+        age-based GC policy.
+        """
+        if older_than_days is not None and older_than_days < 0:
+            raise ValueError(
+                f"older_than_days must be >= 0, got {older_than_days}")
+        now = time.time()
         removed = 0
         for digest in self.record_digests():
-            if digest.startswith(digest_prefix):
-                self.record_path(digest).unlink()
-                removed += 1
+            if not digest.startswith(digest_prefix):
+                continue
+            path = self.record_path(digest)
+            if older_than_days is not None:
+                try:
+                    age_days = (now - path.stat().st_mtime) / 86400.0
+                except OSError:
+                    continue  # raced away by a concurrent clear
+                if age_days < older_than_days:
+                    continue
+            path.unlink()
+            lock = path.parent / f".{path.stem}.lock"
+            if lock.exists():  # drop the record's advisory lock file too
+                lock.unlink()
+            removed += 1
         return removed
+
+    def summary(self) -> Dict[str, object]:
+        """Whole-store totals: record/trial counts, bytes, and the age range.
+
+        ``age_days`` spans the youngest to the oldest record (by file
+        mtime, i.e. last write-back); ``None`` for an empty store.  This is
+        what ``repro-ssle cache info`` (without a digest) reports, and what
+        an operator consults before ``cache clear --older-than``.
+        """
+        rows = self.records()
+        ages = [row["age_days"] for row in rows]
+        return {
+            "root": str(self.root),
+            "records": len(rows),
+            "corrupt": sum(1 for row in rows if row["corrupt"]),
+            "trials": sum(row.get("trials", 0) for row in rows),
+            "bytes": sum(row["bytes"] for row in rows),
+            "age_days": ({"newest": min(ages), "oldest": max(ages)}
+                         if ages else None),
+        }
 
     def stats(self) -> Dict[str, object]:
         """This process's reuse counters plus the store location (JSON-ready)."""

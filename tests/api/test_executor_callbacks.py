@@ -1,0 +1,182 @@
+"""Progress callbacks, caller-owned pools, and graceful interruption.
+
+The executor grew three hooks for the experiment service — ``on_result``,
+``on_point_done``, and ``pool=`` (a long-lived caller-owned executor) — all
+of which must leave results bit-identical to the plain path.  Interruption
+is exercised deterministically: an ``on_result`` callback that raises
+``KeyboardInterrupt`` after a chosen number of trials stands in for a
+Ctrl-C landing mid-stream.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.api import BatchRequest, ExperimentConfig, run_batches
+from repro.api.executor import (
+    _pool_context,
+    batch_tasks,
+    run_trials,
+    validate_batch,
+)
+from repro.store import ResultsStore, batch_digest
+
+CONFIG = ExperimentConfig(trials=3, max_steps=400_000, seed=31)
+
+
+def _batch(n, trials=None):
+    return BatchRequest(spec_name="fischer-jiang", population_size=n,
+                        config=CONFIG, trials=trials)
+
+
+# ---------------------------------------------------------------------- #
+# validate_batch
+# ---------------------------------------------------------------------- #
+def test_validate_batch_resolves_the_default_family():
+    assert validate_batch(_batch(8)) == "adversarial"
+
+
+@pytest.mark.parametrize("request_,exception", [
+    (BatchRequest(spec_name="chen-chen", population_size=8, config=CONFIG),
+     ValueError),
+    (BatchRequest(spec_name="nope", population_size=8, config=CONFIG),
+     KeyError),
+    (_batch(8, trials=0), ValueError),
+])
+def test_validate_batch_fails_fast(request_, exception):
+    with pytest.raises(exception):
+        validate_batch(request_)
+
+
+# ---------------------------------------------------------------------- #
+# on_result / on_point_done
+# ---------------------------------------------------------------------- #
+def test_on_result_fires_per_trial_in_task_order():
+    tasks = batch_tasks(_batch(8))
+    seen = []
+    outcomes = run_trials(
+        tasks, on_result=lambda position, task, result, served:
+        seen.append((position, task.trial, result.steps, served)))
+    assert [entry[0] for entry in seen] == [0, 1, 2]
+    assert [entry[1] for entry in seen] == [0, 1, 2]
+    assert [entry[2] for entry in seen] == [outcome.steps
+                                            for outcome in outcomes]
+    assert all(entry[3] is False for entry in seen)
+
+
+def test_on_result_reports_store_served_trials_first(tmp_path):
+    store = ResultsStore(tmp_path)
+    tasks = batch_tasks(_batch(8))
+    run_trials(tasks[:2], store=store)  # prime trials 0..1
+    seen = []
+    run_trials(tasks, store=store,
+               on_result=lambda position, task, result, served:
+               seen.append((position, served)))
+    assert seen == [(0, True), (1, True), (2, False)]
+
+
+def test_on_point_done_fires_once_per_point_with_its_results():
+    requests = [_batch(6), _batch(8, trials=2)]
+    completed = []
+    grouped = run_batches(
+        requests,
+        on_point_done=lambda index, request, results:
+        completed.append((index, request.population_size,
+                          [outcome.steps for outcome in results])))
+    assert [entry[:2] for entry in completed] == [(0, 6), (1, 8)]
+    assert completed[0][2] == [outcome.steps for outcome in grouped[0]]
+    assert completed[1][2] == [outcome.steps for outcome in grouped[1]]
+
+
+def test_on_point_done_fires_for_fully_cached_points_before_execution(
+        tmp_path):
+    store = ResultsStore(tmp_path)
+    run_batches([_batch(6)], store=store)
+    order = []
+    run_batches([_batch(8), _batch(6)], store=store,
+                on_point_done=lambda index, request, results:
+                order.append(request.population_size))
+    # The cached n=6 point completes during the serve phase, before the
+    # executed n=8 point's trials finish.
+    assert order == [6, 8]
+
+
+# ---------------------------------------------------------------------- #
+# Caller-owned pools
+# ---------------------------------------------------------------------- #
+def test_external_pool_results_match_serial_bit_for_bit():
+    serial = run_trials(batch_tasks(_batch(8)))
+    with ProcessPoolExecutor(max_workers=2,
+                             mp_context=_pool_context()) as pool:
+        pooled = run_trials(batch_tasks(_batch(8)), pool=pool)
+        # The pool outlives the call: a second run on the SAME executor
+        # (the warm-pool shape) must be identical too.
+        again = run_trials(batch_tasks(_batch(8)), pool=pool)
+    assert [outcome.steps for outcome in pooled] \
+        == [outcome.steps for outcome in serial]
+    assert [(outcome.steps, outcome.converged) for outcome in again] \
+        == [(outcome.steps, outcome.converged) for outcome in serial]
+
+
+def test_external_pool_with_store_serves_and_tops_up(tmp_path):
+    store = ResultsStore(tmp_path)
+    with ProcessPoolExecutor(max_workers=2,
+                             mp_context=_pool_context()) as pool:
+        first = run_trials(batch_tasks(_batch(8, trials=2)), store=store,
+                           pool=pool)
+        extended = run_trials(batch_tasks(_batch(8)), store=store, pool=pool)
+    assert (store.served, store.executed) == (2, 3)
+    assert [outcome.steps for outcome in extended[:2]] \
+        == [outcome.steps for outcome in first]
+
+
+# ---------------------------------------------------------------------- #
+# Graceful interruption
+# ---------------------------------------------------------------------- #
+def _interrupt_after(count):
+    state = {"executed": 0}
+
+    def on_result(position, task, result, served):
+        if not served:
+            state["executed"] += 1
+            if state["executed"] >= count:
+                raise KeyboardInterrupt
+
+    return on_result
+
+
+def test_interrupt_mid_batch_writes_back_the_finished_prefix(tmp_path):
+    store = ResultsStore(tmp_path)
+    tasks = batch_tasks(_batch(8))
+    with pytest.raises(KeyboardInterrupt):
+        run_trials(tasks, store=store, on_result=_interrupt_after(2))
+    digest = batch_digest("fischer-jiang", 8, "adversarial",
+                          tasks[0].rng_label, CONFIG)
+    record = ResultsStore(tmp_path).load(digest)
+    assert record is not None and len(record) == 2
+    # The resumed run serves the rescued prefix and executes only the tail.
+    resumed_store = ResultsStore(tmp_path)
+    resumed = run_trials(tasks, store=resumed_store)
+    assert (resumed_store.served, resumed_store.executed) == (2, 1)
+    assert [outcome.steps for outcome in resumed[:2]] \
+        == [outcome.steps for outcome in record]
+
+
+def test_interrupt_mid_sweep_keeps_completed_points(tmp_path):
+    store = ResultsStore(tmp_path)
+    tasks = batch_tasks(_batch(6)) + batch_tasks(_batch(8))
+    with pytest.raises(KeyboardInterrupt):
+        # The interrupt lands after trial 4: the n=6 point is complete
+        # (3 trials, written back as it finished) and the n=8 point holds a
+        # one-trial prefix the interrupt handler must rescue.
+        run_trials(tasks, store=store, on_result=_interrupt_after(4))
+    resumed_store = ResultsStore(tmp_path)
+    run_batches([_batch(6), _batch(8)], store=resumed_store)
+    assert resumed_store.served == 4 and resumed_store.executed == 2
+
+
+def test_interrupt_without_store_still_propagates():
+    with pytest.raises(KeyboardInterrupt):
+        run_trials(batch_tasks(_batch(8)), on_result=_interrupt_after(1))

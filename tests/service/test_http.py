@@ -1,0 +1,185 @@
+"""The HTTP surface: routing rules, and the full lifecycle over a socket.
+
+Routing tests hit :meth:`ExperimentServer.route` directly (no sockets): the
+status codes and error shapes are part of the API contract.  The end-to-end
+tests run a real ``asyncio.start_server`` on an ephemeral port and drive it
+with the stdlib :class:`ServiceClient` from a worker thread — exactly the
+deployment shape, including the store-backed resubmission that must report
+zero executed trials.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import ExperimentServer
+from repro.service.jobs import JobState
+from repro.service.manager import JobManager
+from repro.store import ResultsStore
+
+PAYLOAD = {"protocol": "fischer-jiang", "sizes": [6, 8], "trials": 2,
+           "max_steps": 400_000, "seed": 23}
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ---------------------------------------------------------------------- #
+# Routing
+# ---------------------------------------------------------------------- #
+def routed(method, target, body=b""):
+    async def scenario():
+        return ExperimentServer(JobManager()).route(method, target, body)
+
+    return run(scenario())
+
+
+@pytest.mark.parametrize("method,target,status,fragment", [
+    ("GET", "/nope", 404, "unknown path"),
+    ("GET", "/jobs/job-0001/result/extra", 404, "unknown path"),
+    ("GET", "/jobs/job-0001/nonsense", 404, "unknown path"),
+    ("GET", "/jobs/job-9999", 404, "no job"),
+    ("DELETE", "/jobs/job-9999", 404, "no job"),
+    ("PUT", "/", 405, "GET"),
+    ("DELETE", "/jobs", 405, "POST"),
+    ("POST", "/jobs/job-0001", 405, "GET"),
+    ("POST", "/jobs/job-0001/result", 405, "GET"),
+    ("GET", "/jobs?state=SLEEPING", 400, "unknown job state"),
+])
+def test_error_statuses(method, target, status, fragment):
+    code, payload = routed(method, target)
+    assert code == status
+    assert fragment in payload["error"]
+
+
+def test_submit_rejects_malformed_json_and_bad_requests():
+    status, payload = routed("POST", "/jobs", b"{not json")
+    assert status == 400 and "not valid JSON" in payload["error"]
+    status, payload = routed(
+        "POST", "/jobs", json.dumps({"protocol": "no-such"}).encode())
+    assert status == 400 and "no-such" in payload["error"]
+
+
+def test_root_reports_service_shape():
+    status, payload = routed("GET", "/")
+    assert status == 200
+    assert "fischer-jiang" in payload["protocols"]
+    assert payload["states"] == list(JobState.ALL)
+    assert payload["jobs"] == {state: 0 for state in JobState.ALL}
+    assert payload["store"] is None
+
+
+def test_submit_then_status_then_result_via_route():
+    async def scenario():
+        server = ExperimentServer(JobManager())
+        status, created = server.route(
+            "POST", "/jobs", json.dumps(PAYLOAD).encode())
+        assert status == 201
+        job_id = created["id"]
+        # The result is a 409 until the job finishes.
+        early, conflict = server.route("GET", f"/jobs/{job_id}/result")
+        await server.manager.drain()
+        done, final = server.route("GET", f"/jobs/{job_id}")
+        got, result = server.route("GET", f"/jobs/{job_id}/result")
+        listed, rows = server.route("GET", "/jobs?state=DONE,FAILED")
+        return early, conflict, done, final, got, result, listed, rows
+
+    early, conflict, done, final, got, result, listed, rows = run(scenario())
+    assert early == 409 and conflict["state"] in (JobState.QUEUED,
+                                                  JobState.RUNNING)
+    assert done == 200 and final["state"] == JobState.DONE
+    assert final["progress"]["trials_executed"] == 4
+    assert got == 200 and result["command"] == "run"
+    assert listed == 200 and [row["state"] for row in rows["jobs"]] == ["DONE"]
+
+
+def test_delete_cancels_via_route():
+    async def scenario():
+        server = ExperimentServer(JobManager())
+        _, created = server.route("POST", "/jobs",
+                                  json.dumps(PAYLOAD).encode())
+        status, payload = server.route("DELETE", f"/jobs/{created['id']}")
+        await server.manager.drain()
+        return status, payload, server.manager.get(created["id"])
+
+    status, payload, job = run(scenario())
+    assert status == 200 and payload["cancel_requested"] is True
+    assert job.terminal
+
+
+# ---------------------------------------------------------------------- #
+# End to end over a real socket
+# ---------------------------------------------------------------------- #
+def serve_scenario(store, client_flow):
+    """Run ``client_flow(client)`` in a thread against a live server."""
+
+    async def scenario():
+        manager = JobManager(store=store)
+        server = ExperimentServer(manager)
+        await server.start("127.0.0.1", 0)
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        try:
+            return await asyncio.to_thread(client_flow, client)
+        finally:
+            await server.stop()
+
+    return run(scenario())
+
+
+def test_full_lifecycle_over_http(tmp_path):
+    def flow(client):
+        info = client.info()
+        job = client.submit(PAYLOAD)
+        status = client.wait(job["id"], timeout=120)
+        result = client.result(job["id"])
+        repeat = client.submit(PAYLOAD)
+        repeat_status = client.wait(repeat["id"], timeout=120)
+        repeat_result = client.result(repeat["id"])
+        jobs = client.jobs(states=[JobState.DONE])
+        return info, status, result, repeat_status, repeat_result, jobs
+
+    info, status, result, repeat_status, repeat_result, jobs = \
+        serve_scenario(ResultsStore(tmp_path), flow)
+    assert info["service"].startswith("repro-ssle")
+    assert status["state"] == JobState.DONE
+    assert status["progress"]["trials_executed"] == 4
+    # The resubmission is served entirely from the store: zero executions,
+    # and the result payload (wall_time aside) is byte-for-byte the same.
+    assert repeat_status["progress"]["trials_executed"] == 0
+    assert repeat_status["progress"]["trials_served"] == 4
+    assert repeat_result["store"]["executed"] == 0
+    for entry, again in zip(result["results"], repeat_result["results"]):
+        assert {key: value for key, value in entry.items()
+                if key != "wall_time"} \
+            == {key: value for key, value in again.items()
+                if key != "wall_time"}
+    assert len(jobs) == 2
+
+
+def test_http_errors_reach_the_client_as_service_errors(tmp_path):
+    def flow(client):
+        errors = {}
+        for name, call in (
+            ("missing", lambda: client.status("job-9999")),
+            ("invalid", lambda: client.submit({"protocol": "no-such"})),
+        ):
+            try:
+                call()
+            except ServiceError as error:
+                errors[name] = error
+        return errors
+
+    errors = serve_scenario(None, flow)
+    assert errors["missing"].status == 404
+    assert errors["invalid"].status == 400
+    assert "no-such" in str(errors["invalid"])
+
+
+def test_client_rejects_non_http_urls():
+    with pytest.raises(ValueError, match="http://"):
+        ServiceClient("ftp://example.test")

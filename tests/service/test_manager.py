@@ -1,0 +1,337 @@
+"""Job-manager lifecycle: submit, progress, cancel, interleave, store reuse.
+
+The acceptance properties of the tentpole: a job's result is bit-identical
+to the direct ``run_spec`` path, a repeat submission against the shared
+store executes zero trials, cancellation keeps every completed point, and
+two jobs genuinely interleave on the one warm backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.api import run_spec
+from repro.api.executor import batch_tasks, run_trials
+from repro.service.backend import WarmPool
+from repro.service.jobs import Job, JobState
+from repro.service.manager import JobManager, JobStoreView, UnknownJobError
+from repro.service.requests import JobRequest, ValidationError
+from repro.store import ResultsStore
+
+PAYLOAD = {"protocol": "fischer-jiang", "sizes": [6, 8], "trials": 3,
+           "max_steps": 400_000, "seed": 17}
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _submit_and_drain(manager, payload):
+    job = manager.submit(payload)
+    await manager.drain()
+    return job
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle and result identity
+# ---------------------------------------------------------------------- #
+def test_job_runs_to_done_with_full_progress():
+    async def scenario():
+        manager = JobManager()
+        job = manager.submit(PAYLOAD)
+        assert job.state in (JobState.QUEUED, JobState.RUNNING)
+        await manager.drain()
+        return job
+
+    job = run(scenario())
+    assert job.state == JobState.DONE
+    assert job.started is not None and job.finished is not None
+    assert job.points_completed == 2
+    assert job.trials_executed == 6 and job.trials_served == 0
+    assert all(point.done and not point.skipped for point in job.points)
+
+
+def test_job_result_is_bit_identical_to_the_direct_path():
+    job = run(_submit_and_drain(JobManager(), PAYLOAD))
+    request = JobRequest.from_payload(PAYLOAD)
+    payload = job.result
+    assert payload["command"] == "run"
+    assert payload["protocol"] == "fischer-jiang"
+    assert payload["store"] is None
+    for entry, batch in zip(payload["results"], request.batch_requests()):
+        direct = run_trials(batch_tasks(batch))
+        summary = run_spec("fischer-jiang", batch.population_size,
+                           request.config)
+        assert entry["population_size"] == batch.population_size
+        assert entry["seed"] == request.config.seed
+        assert ([(trial["steps"], trial["converged"], trial["engine"])
+                 for trial in entry["trials"]]
+                == [(outcome.steps, outcome.converged, outcome.engine)
+                    for outcome in direct])
+        assert entry["mean_steps"] == summary.mean_steps()
+
+
+def test_submit_accepts_a_prebuilt_request():
+    request = JobRequest.from_payload(PAYLOAD)
+    job = run(_submit_and_drain(JobManager(), request))
+    assert job.state == JobState.DONE and job.request is request
+
+
+def test_invalid_submission_creates_no_job():
+    async def scenario():
+        manager = JobManager()
+        with pytest.raises(ValidationError):
+            manager.submit({"protocol": "no-such-spec"})
+        return manager.jobs()
+
+    assert run(scenario()) == []
+
+
+def test_unknown_job_id_raises():
+    async def scenario():
+        manager = JobManager()
+        with pytest.raises(UnknownJobError):
+            manager.get("job-9999")
+        with pytest.raises(UnknownJobError):
+            manager.cancel("job-9999")
+
+    run(scenario())
+
+
+def test_jobs_filter_validates_states():
+    async def scenario():
+        manager = JobManager()
+        job = manager.submit(PAYLOAD)
+        await manager.drain()
+        assert manager.jobs([JobState.DONE]) == [job]
+        assert manager.jobs([JobState.RUNNING]) == []
+        with pytest.raises(ValueError, match="unknown job state"):
+            manager.jobs(["SLEEPING"])
+
+    run(scenario())
+
+
+# ---------------------------------------------------------------------- #
+# Store integration: repeats never touch the pool
+# ---------------------------------------------------------------------- #
+def test_second_identical_submission_executes_zero_trials(tmp_path):
+    async def scenario():
+        store = ResultsStore(tmp_path)
+        manager = JobManager(store=store)
+        first = await _submit_and_drain(manager, PAYLOAD)
+        second = await _submit_and_drain(manager, PAYLOAD)
+        return first, second
+
+    first, second = run(scenario())
+    assert first.result["store"] == {**first.result["store"],
+                                     "served": 0, "executed": 6}
+    assert second.trials_executed == 0 and second.trials_served == 6
+    assert second.result["store"]["executed"] == 0
+    assert second.result["store"]["served"] == 6
+    # Everything but the wall-clock measurement is identical.
+    for entry, repeat in zip(first.result["results"],
+                             second.result["results"]):
+        assert {key: value for key, value in entry.items()
+                if key != "wall_time"} \
+            == {key: value for key, value in repeat.items()
+                if key != "wall_time"}
+
+
+def test_store_view_keeps_counters_per_job(tmp_path):
+    store = ResultsStore(tmp_path)
+    store.served = 41  # the shared store's own counters must stay untouched
+    view = JobStoreView(store)
+    assert view.write is True and view.root == store.root
+    view.served += 2
+    assert (view.served, store.served) == (2, 41)
+    assert view.stats() == {"root": str(store.root), "write": True,
+                            "served": 2, "executed": 0}
+
+
+# ---------------------------------------------------------------------- #
+# Cancellation
+# ---------------------------------------------------------------------- #
+class HookedPool(WarmPool):
+    """An inline backend that fires a callback after each completed point."""
+
+    def __init__(self, after_point):
+        super().__init__(workers=0)
+        self.after_point = after_point
+
+    async def run_point_async(self, tasks, store=None, on_result=None):
+        outcomes = await super().run_point_async(tasks, store, on_result)
+        self.after_point()
+        return outcomes
+
+
+def test_cancel_running_job_keeps_completed_points(tmp_path):
+    async def scenario():
+        store = ResultsStore(tmp_path)
+        holder = {}
+        manager = JobManager(
+            backend=HookedPool(lambda: manager.cancel(holder["id"])),
+            store=store)
+        job = manager.submit(PAYLOAD)
+        holder["id"] = job.id
+        await manager.drain()
+        return job
+
+    job = run(scenario())
+    assert job.state == JobState.CANCELLED and job.cancel_requested
+    assert [point.done for point in job.points] == [True, False]
+    assert [point.skipped for point in job.points] == [False, True]
+    # The completed point's result survives, and its batch reached the store.
+    assert len(job.result["results"]) == 1
+    assert job.result["results"][0]["population_size"] == 6
+    assert job.result["store"]["executed"] == 3
+
+
+def test_cancel_running_job_writes_completed_point_to_store(tmp_path):
+    async def scenario():
+        store = ResultsStore(tmp_path)
+        holder = {}
+        manager = JobManager(
+            backend=HookedPool(lambda: manager.cancel(holder["id"])),
+            store=store)
+        holder["id"] = manager.submit(PAYLOAD).id
+        await manager.drain()
+        # A fresh job over the same request serves the completed point from
+        # disk and only executes the skipped one.
+        follow_up = JobManager(store=store)
+        job = follow_up.submit(PAYLOAD)
+        await follow_up.drain()
+        return job
+
+    job = run(scenario())
+    assert job.state == JobState.DONE
+    assert (job.trials_served, job.trials_executed) == (3, 3)
+
+
+def test_cancel_queued_job_never_runs():
+    async def scenario():
+        manager = JobManager(max_jobs=1)
+        blocker = manager.submit(PAYLOAD)
+        queued = manager.submit(PAYLOAD)
+        manager.cancel(queued.id)
+        assert queued.state == JobState.CANCELLED
+        await manager.drain()
+        return blocker, queued
+
+    blocker, queued = run(scenario())
+    assert blocker.state == JobState.DONE
+    assert queued.state == JobState.CANCELLED
+    assert queued.result is None and queued.trials_executed == 0
+
+
+def test_cancel_is_idempotent_on_terminal_jobs():
+    async def scenario():
+        manager = JobManager()
+        job = manager.submit(PAYLOAD)
+        await manager.drain()
+        assert job.state == JobState.DONE
+        manager.cancel(job.id)
+        return job
+
+    job = run(scenario())
+    assert job.state == JobState.DONE and not job.cancel_requested
+
+
+# ---------------------------------------------------------------------- #
+# Failure isolation and interleaving
+# ---------------------------------------------------------------------- #
+class ExplodingPool(WarmPool):
+    def __init__(self):
+        super().__init__(workers=0)
+
+    async def run_point_async(self, tasks, store=None, on_result=None):
+        raise RuntimeError("worker pool on fire")
+
+
+def test_backend_failure_fails_the_job_not_the_manager():
+    async def scenario():
+        manager = JobManager(backend=ExplodingPool())
+        failed = manager.submit(PAYLOAD)
+        await manager.drain()
+        # The manager survives: a later job on a healthy backend still runs.
+        healthy = JobManager()
+        job = healthy.submit(PAYLOAD)
+        await healthy.drain()
+        return failed, job
+
+    failed, job = run(scenario())
+    assert failed.state == JobState.FAILED
+    assert "worker pool on fire" in failed.error
+    assert failed.result is None
+    assert job.state == JobState.DONE
+
+
+class GatedPool(WarmPool):
+    """Blocks the FIRST point it is asked to run until the gate opens."""
+
+    def __init__(self, gate):
+        super().__init__(workers=0)
+        self.gate = gate
+        self.first = True
+
+    async def run_point_async(self, tasks, store=None, on_result=None):
+        if self.first:
+            self.first = False
+            await self.gate.wait()
+        return await super().run_point_async(tasks, store, on_result)
+
+
+def test_two_jobs_interleave_on_the_shared_backend():
+    async def scenario():
+        gate = asyncio.Event()
+        manager = JobManager(backend=GatedPool(gate))
+        stalled = manager.submit(PAYLOAD)
+        quick = manager.submit(PAYLOAD)
+        # The second job must run to completion while the first is still
+        # RUNNING (blocked inside its first point).
+        while quick.state != JobState.DONE:
+            await asyncio.sleep(0.01)
+        states = (stalled.state, quick.state)
+        gate.set()
+        await manager.drain()
+        return states, stalled
+
+    states, stalled = run(scenario())
+    assert states == (JobState.RUNNING, JobState.DONE)
+    assert stalled.state == JobState.DONE
+
+
+def test_max_jobs_bounds_concurrency():
+    async def scenario():
+        gate = asyncio.Event()
+        manager = JobManager(backend=GatedPool(gate), max_jobs=1)
+        stalled = manager.submit(PAYLOAD)
+        queued = manager.submit(PAYLOAD)
+        await asyncio.sleep(0.05)
+        states = (stalled.state, queued.state)
+        gate.set()
+        await manager.drain()
+        return states, stalled, queued
+
+    states, stalled, queued = run(scenario())
+    assert states == (JobState.RUNNING, JobState.QUEUED)
+    assert stalled.state == JobState.DONE and queued.state == JobState.DONE
+
+
+def test_max_jobs_validation():
+    with pytest.raises(ValueError, match="max_jobs"):
+        JobManager(max_jobs=0)
+
+
+# ---------------------------------------------------------------------- #
+# The state machine itself
+# ---------------------------------------------------------------------- #
+def test_illegal_transitions_fail_loudly():
+    job = Job(id="job-0001", request=JobRequest.from_payload(PAYLOAD))
+    job.advance(JobState.RUNNING)
+    job.advance(JobState.DONE)
+    with pytest.raises(ValueError, match="illegal transition"):
+        job.advance(JobState.RUNNING)
+    with pytest.raises(ValueError, match="illegal transition"):
+        job.advance(JobState.CANCELLED)

@@ -1,0 +1,120 @@
+"""Concurrent writers must never shrink a record.
+
+Every record of one digest is a contiguous prefix of the same deterministic
+trial sequence, so of two concurrent write-backs the longer is always a
+superset of the shorter — :meth:`ResultsStore.save` enforces that under an
+advisory per-record lock.  These tests hammer one digest from many threads
+(the experiment service's shape: several jobs topping up the same group
+through one shared store) and assert the surviving record is always the
+longest prefix anyone produced.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api import BatchRequest, ExperimentConfig, run_trials
+from repro.api.executor import batch_tasks
+from repro.store import ResultsStore, batch_digest
+from repro.store.store import canonical_config
+
+CONFIG = ExperimentConfig(trials=6, max_steps=400_000, seed=43)
+SPEC = "fischer-jiang"
+N = 8
+
+
+def _tasks():
+    return batch_tasks(BatchRequest(spec_name=SPEC, population_size=N,
+                                    config=CONFIG))
+
+
+#: The spec's resolved RNG stream label (part of the record's address).
+LABEL = _tasks()[0].rng_label
+
+
+def _digest():
+    return batch_digest(SPEC, N, "adversarial", LABEL, CONFIG)
+
+
+def _meta():
+    return {"spec": SPEC, "population_size": N, "family": "adversarial",
+            "rng_label": LABEL, "config": canonical_config(CONFIG)}
+
+
+def test_shorter_save_after_longer_is_a_no_op(tmp_path):
+    store = ResultsStore(tmp_path)
+    outcomes = run_trials(_tasks())
+    store.save(_digest(), _meta(), outcomes)
+    store.save(_digest(), _meta(), outcomes[:2])
+    record = store.load(_digest())
+    assert len(record) == 6
+    assert [trial.steps for trial in record] \
+        == [outcome.steps for outcome in outcomes]
+
+
+def test_longer_save_still_extends(tmp_path):
+    store = ResultsStore(tmp_path)
+    outcomes = run_trials(_tasks())
+    store.save(_digest(), _meta(), outcomes[:2])
+    store.save(_digest(), _meta(), outcomes)
+    assert len(store.load(_digest())) == 6
+
+
+def test_concurrent_prefix_writers_leave_the_longest_record(tmp_path):
+    outcomes = run_trials(_tasks())
+    lengths = [1, 3, 6, 2, 5, 4] * 4
+    barrier = threading.Barrier(len(lengths))
+
+    def writer(length):
+        store = ResultsStore(tmp_path)  # own handle, like separate runs
+        barrier.wait()
+        store.save(_digest(), _meta(), outcomes[:length])
+
+    threads = [threading.Thread(target=writer, args=(length,))
+               for length in lengths]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    record = ResultsStore(tmp_path).load(_digest())
+    assert record is not None and len(record) == 6
+    assert [trial.steps for trial in record] \
+        == [outcome.steps for outcome in outcomes]
+
+
+def test_concurrent_stored_runs_through_the_executor(tmp_path):
+    """Whole store-backed runs racing on one digest stay consistent."""
+    baseline = run_trials(_tasks())
+    errors = []
+    barrier = threading.Barrier(4)
+
+    def racer():
+        try:
+            store = ResultsStore(tmp_path)
+            barrier.wait()
+            results = run_trials(_tasks(), store=store)
+            assert [outcome.steps for outcome in results] \
+                == [outcome.steps for outcome in baseline]
+        except BaseException as error:  # pragma: no cover - diagnostic aid
+            errors.append(error)
+
+    threads = [threading.Thread(target=racer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    record = ResultsStore(tmp_path).load(_digest())
+    assert len(record) == 6
+    assert [trial.steps for trial in record] \
+        == [outcome.steps for outcome in baseline]
+
+
+def test_clear_drops_lock_files_with_their_records(tmp_path):
+    store = ResultsStore(tmp_path)
+    store.save(_digest(), _meta(), run_trials(_tasks())[:2])
+    lock = store.record_path(_digest()).parent / f".{_digest()}.lock"
+    assert lock.exists()
+    assert store.clear() == 1
+    assert not store.record_path(_digest()).exists()
+    assert not lock.exists()

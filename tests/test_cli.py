@@ -519,3 +519,66 @@ def test_scaling_store_reuses_every_converged_point(tmp_path, capsys):
     warm = json.loads(capsys.readouterr().out)
     assert warm["store"]["executed"] == 0 and warm["store"]["served"] == 2
     assert warm["series"] == cold["series"]
+
+
+def test_cache_info_reports_the_age_range(tmp_path, capsys):
+    assert main(["run", "angluin-modk", "--sizes", "5", "--trials", "1",
+                 "--max-steps", "600000", "--store", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "info", "--store", str(tmp_path),
+                 "--format", "json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["records"] == 1 and summary["bytes"] > 0
+    assert 0 <= summary["age_days"]["newest"] <= summary["age_days"]["oldest"]
+    assert main(["cache", "list", "--store", str(tmp_path),
+                 "--format", "json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert listing["records"][0]["age_days"] >= 0
+
+
+def test_cache_clear_older_than_keeps_young_records(tmp_path, capsys):
+    assert main(["run", "angluin-modk", "--sizes", "5", "--trials", "1",
+                 "--max-steps", "600000", "--store", str(tmp_path)]) == 0
+    capsys.readouterr()
+    # A just-written record is younger than 30 days: nothing to remove.
+    assert main(["cache", "clear", "--older-than", "30",
+                 "--store", str(tmp_path), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["removed"] == 0
+    # Age zero removes everything (every record is at least 0 days old).
+    assert main(["cache", "clear", "--older-than", "0",
+                 "--store", str(tmp_path), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["removed"] == 1
+
+
+def test_cache_older_than_outside_clear_is_a_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["cache", "list", "--older-than", "1", "--store", str(tmp_path)])
+    assert "--older-than only applies" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["cache", "clear", "--older-than", "-1",
+                                   "--store", str(tmp_path)])
+
+
+def test_scaling_progress_reports_each_point(capsys):
+    assert main(["scaling", "--sizes", "6,8", "--trials", "1",
+                 "--max-steps", "600000", "--no-baseline", "--progress",
+                 "--format", "json"]) == 0
+    captured = capsys.readouterr()
+    lines = [line for line in captured.err.splitlines() if "[scaling" in line]
+    assert len(lines) == 2
+    assert "[scaling 1/2] ppl n=6" in lines[0]
+    assert "[scaling 2/2] ppl n=8" in lines[1]
+    assert json.loads(captured.out)["command"] == "scaling"
+
+
+def test_serve_parser_defaults_and_bounds():
+    args = build_parser().parse_args(["serve"])
+    assert (args.host, args.port) == ("127.0.0.1", 8642)
+    assert args.workers is None and args.max_jobs is None
+    args = build_parser().parse_args(["serve", "--port", "0",
+                                      "--workers", "0", "--max-jobs", "2"])
+    assert args.port == 0 and args.workers == 0 and args.max_jobs == 2
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--max-jobs", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--workers", "-1"])
