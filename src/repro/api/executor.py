@@ -584,7 +584,7 @@ def _write_back(store, group: _StoreGroup, tasks: Sequence[TrialTask],
 
 
 def validate_batch(request: BatchRequest) -> str:
-    """Fail-fast checks for one sweep point; returns the resolved family.
+    """Eager checks for one sweep point; returns the resolved family.
 
     Mirrors :func:`repro.api.registry.run_spec`'s eager validation (the spec
     must be simulated, the engine, size, topology, and family must all
@@ -592,10 +592,18 @@ def validate_batch(request: BatchRequest) -> str:
     this at submission time so a bad request is rejected with a 400 before
     it ever reaches the queue.  ``ValueError``/``KeyError`` carry the
     user-facing message.
+
+    Every independent check runs even after one fails, so a misconfigured
+    request reports *all* of its problems in one pass.  A single problem
+    re-raises its original exception unchanged (an unknown family is still
+    a ``KeyError``, a bad engine still a ``ValueError``); multiple
+    problems are folded into one ``ValueError`` listing each.
     """
     from repro.api.registry import get_spec
     from repro.topology.registry import validate_topology
 
+    # Without a known simulated spec nothing downstream is checkable, so
+    # these two remain genuinely fail-fast.
     spec = get_spec(request.spec_name)
     if not spec.is_simulated:
         raise ValueError(
@@ -604,15 +612,37 @@ def validate_batch(request: BatchRequest) -> str:
         )
     config = request.config
     n = request.population_size
-    spec.resolve_engine(config.engine)
-    spec.require_supported(n)
-    spec.require_topology(config.topology)
-    validate_topology(config.topology, n, **config.topology_kwargs())
+    problems: List[Exception] = []
+
+    def attempt(check: Callable[[], object]) -> None:
+        try:
+            check()
+        except (ValueError, KeyError) as error:
+            problems.append(error)
+
+    attempt(lambda: spec.resolve_engine(config.engine))
+    attempt(lambda: spec.require_supported(n))
+
+    def check_topology() -> None:
+        spec.require_topology(config.topology)
+        validate_topology(config.topology, n, **config.topology_kwargs())
+
+    attempt(check_topology)
     family = request.family or spec.default_family
-    spec.require_family(family)
+    attempt(lambda: spec.require_family(family))
     if request.trials is not None and request.trials < 1:
-        raise ValueError(f"trials must be >= 1, got {request.trials}")
-    return family
+        problems.append(ValueError(
+            f"trials must be >= 1, got {request.trials}"))
+    if not problems:
+        return family
+    if len(problems) == 1:
+        raise problems[0]
+    details = "; ".join(
+        str(error.args[0]) if error.args else str(error)
+        for error in problems)
+    raise ValueError(
+        f"invalid request for {request.spec_name!r} (n={n}): "
+        f"{len(problems)} problems: {details}")
 
 
 def batch_tasks(request: BatchRequest) -> List[TrialTask]:
@@ -667,7 +697,30 @@ def run_batches(requests: Sequence[BatchRequest],
     store, fully-cached points fire before any execution starts, so points
     may complete out of request order.  ``pool`` reuses a caller-owned
     long-lived executor (see :func:`run_trials`).
+
+    Validation sweeps *all* points before any seed derivation: a sweep
+    with several bad points reports every one of them (with its request
+    index) in a single error instead of stopping at the first.
     """
+    invalid: List[Tuple[int, Exception]] = []
+    for index, request in enumerate(requests):
+        try:
+            validate_batch(request)
+        except (ValueError, KeyError) as error:
+            invalid.append((index, error))
+    if len(invalid) == 1:
+        raise invalid[0][1]  # one bad point: the original error says it all
+    if invalid:
+        lines = []
+        for index, error in invalid:
+            request = requests[index]
+            message = error.args[0] if error.args else str(error)
+            lines.append(f"point {index} ({request.spec_name!r}, "
+                         f"n={request.population_size}): {message}")
+        summary = "\n  ".join(lines)
+        raise ValueError(
+            f"invalid sweep: {len(invalid)} of {len(requests)} points "
+            f"rejected:\n  {summary}")
     per_batch = [batch_tasks(request) for request in requests]
     flat: List[TrialTask] = []
     point_of: List[int] = []

@@ -79,6 +79,34 @@ def _any_ring(n: int) -> bool:
 
 
 @dataclass(frozen=True)
+class CheckPolicy:
+    """How :mod:`repro.check.model` may verify one spec's claims.
+
+    The model checker proves closure / stabilization reachability /
+    livelock freedom on the explicit configuration graph; this policy is
+    where a spec scopes those claims to what it actually asserts.  Lives
+    here (not in :mod:`repro.check`) so specs can declare a policy without
+    the registry importing the checker.
+    """
+
+    #: Non-None opts the spec out of model checking entirely, with the
+    #: reported reason (e.g. a state space no enumeration cap can hold,
+    #: or convergence semantics outside the pairwise relation).
+    skip_reason: Optional[str] = None
+    #: Topologies on which the stop predicate is claimed to be *absorbing*
+    #: (closure).  ``None`` claims closure everywhere; protocols whose
+    #: off-ring predicate detects an event rather than an invariant list
+    #: only the topologies where the invariant form applies — closure is
+    #: still measured elsewhere, but reported ``not_claimed`` instead of
+    #: ``violated``.
+    closure_topologies: Optional[Tuple[str, ...]] = None
+    #: Enumeration cap for the checker's encoder build (per-spec override
+    #: for protocols whose reachable space is larger than the engine
+    #: default but still checkable).
+    max_states: int = 512
+
+
+@dataclass(frozen=True)
 class ProtocolSpec:
     """Everything the generic runner needs to know about one protocol."""
 
@@ -109,6 +137,10 @@ class ProtocolSpec:
     #: every step), or ``"batched"``/``"numpy"`` (that tier must apply;
     #: failure is an error rather than a silent fallback).
     simulation_mode: str = "auto"
+    #: Model-checking policy (see :class:`CheckPolicy`); ``None`` means
+    #: the checker's defaults — every claim checked on every supported
+    #: topology.
+    check: Optional[CheckPolicy] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -520,6 +552,11 @@ def _angluin_spec(k: int, name: str) -> ProtocolSpec:
         supported_note=f"population sizes n >= 2 with n not divisible by k={k}",
         rng_label="angluin",
         reference="[5] Angluin, Aspnes, Fischer, Jiang",
+        # Off the directed ring the stop predicate is has_undisputed_leader
+        # — an *event* ("a sole leader exists right now"), not an invariant
+        # — so closure is claimed, and model-checked, only where is_stable
+        # applies.  Reachability and livelock freedom are claimed everywhere.
+        check=CheckPolicy(closure_topologies=("directed-ring",)),
     )
 
 
@@ -575,6 +612,14 @@ def _register_builtin_specs() -> None:
         supported_topologies=("directed-ring",),
         rng_label="ppl",
         reference="PODC 2023 (the reproduced paper)",
+        # P_PL's per-agent space is polylog(n) *asymptotically* but holds
+        # segment IDs and counters whose product is in the millions even at
+        # psi=2 — no enumeration cap can hold it, so its self-stabilization
+        # coverage stays dynamic (the adversarial sweep experiments).
+        check=CheckPolicy(skip_reason=(
+            "P_PL's state space (segment IDs x counters, millions of states "
+            "even at psi=2) exceeds any enumeration cap; stabilization "
+            "coverage is dynamic, via the adversarial sweeps")),
     ))
     register(ProtocolSpec(
         name="yokota2021",
@@ -602,6 +647,14 @@ def _register_builtin_specs() -> None:
         # registered topology is accepted.
         rng_label="fj",
         reference="[15] Fischer, Jiang",
+        # Convergence is driven by the oracle's global eventually-correct
+        # reports, which live in OracleSimulation, not in the pairwise
+        # transition relation — the configuration graph of the raw tables
+        # would verify a different protocol than the one that runs.
+        check=CheckPolicy(skip_reason=(
+            "convergence depends on the eventual leader-detector oracle "
+            "inside OracleSimulation, which is outside the pairwise "
+            "transition relation the checker enumerates")),
     ))
     register(_angluin_spec(2, "angluin-modk"))
     register(ProtocolSpec(

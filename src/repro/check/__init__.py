@@ -1,0 +1,66 @@
+"""Static analysis for the reproduction: model checking + determinism lint.
+
+Two pillars, one package:
+
+* :mod:`repro.check.model` / :mod:`repro.check.graph` — exhaustive
+  verification of the self-stabilization claims (closure, stabilization
+  reachability, livelock freedom) on the explicit configuration graph of
+  each registered simulated spec, via the same compiled transition tables
+  the batched/numpy engines execute.  Surface: :func:`verify_spec`,
+  :func:`verify_all`, and ``repro-ssle check``.
+
+* :mod:`repro.check.lint` / :mod:`repro.check.rules` — an AST lint pass
+  (``python -m repro.check.lint``) enforcing the determinism invariants
+  the engine tiers, store, and service depend on (rules REP001-REP005).
+"""
+
+from repro.check.graph import (
+    DEFAULT_MAX_CONFIGS,
+    ConfigurationGraph,
+    GraphAnalysis,
+    analyze,
+    tarjan_components,
+)
+from repro.check.model import (
+    DEFAULT_MAX_N,
+    NOT_CLAIMED,
+    SKIPPED,
+    VERIFIED,
+    VIOLATED,
+    summarize,
+    verify_all,
+    verify_spec,
+)
+from repro.check.rules import RULES, Finding
+
+
+def __getattr__(name):
+    # The lint driver is imported lazily so `python -m repro.check.lint`
+    # does not re-import the module it is about to execute (runpy warns).
+    if name in ("lint_file", "lint_paths", "lint_source"):
+        from repro.check import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ConfigurationGraph",
+    "DEFAULT_MAX_CONFIGS",
+    "DEFAULT_MAX_N",
+    "Finding",
+    "GraphAnalysis",
+    "NOT_CLAIMED",
+    "RULES",
+    "SKIPPED",
+    "VERIFIED",
+    "VIOLATED",
+    "analyze",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "summarize",
+    "tarjan_components",
+    "verify_all",
+    "verify_spec",
+]

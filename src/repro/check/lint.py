@@ -1,0 +1,142 @@
+"""The determinism linter driver: walk ``src/``, apply the REP rules.
+
+``python -m repro.check.lint`` lints the installed ``repro`` package by
+default (so the CI gate needs no path argument and cannot silently lint
+an empty directory); explicit file or directory arguments override that.
+Exit status is the gate: ``0`` clean, ``1`` findings, ``2`` unreadable
+or unparseable input.
+
+The rules themselves — and the story of why each exists — live in
+:mod:`repro.check.rules`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.check.rules import RULES, RULES_BY_CODE, Finding, Rule, check_module
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name of ``path``, anchored at the ``repro`` package.
+
+    Rule scoping keys on the dotted name (``repro.core.rng`` is the REP002
+    allowlist, ``repro.store`` is REP004 territory), so the name comes
+    from the path's position under the package root.  Files outside any
+    ``repro`` tree (tests, fixtures) lint under their bare stem — scoped
+    rules then only apply when the caller passes an explicit module name
+    to :func:`lint_source`.
+    """
+    parts = [part for part in path.with_suffix("").parts if part != "."]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def lint_source(source: str, path: str = "<string>", module: str = "",
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Findings for one source text (raises ``SyntaxError`` on bad input)."""
+    tree = ast.parse(source, filename=path)
+    return check_module(tree, source.splitlines(), path, module, rules=rules)
+
+
+def lint_file(path: Path,
+              rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), module=module_name(path),
+                       rules=rules)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand directories to their ``*.py`` files, sorted for stable output."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings
+
+
+def _default_target() -> Path:
+    """The installed ``repro`` package root (``src/repro``)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def _select_rules(raw: Optional[str]) -> List[Rule]:
+    if raw is None:
+        return list(RULES)
+    selected: List[Rule] = []
+    for code in (part.strip().upper() for part in raw.split(",")):
+        if not code:
+            continue
+        if code not in RULES_BY_CODE:
+            raise SystemExit(
+                f"unknown rule {code!r}; known: "
+                f"{', '.join(sorted(RULES_BY_CODE))}")
+        selected.append(RULES_BY_CODE[code])
+    return selected
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.lint",
+        description="Determinism lint: enforce the repo's reproducibility "
+                    "invariants (REP001-REP005) over python sources.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: the installed repro package)")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format (default: text)")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [_default_target()]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        findings = lint_paths(paths, rules=_select_rules(args.select))
+    except SyntaxError as error:
+        print(f"error: {error.filename}:{error.lineno}: {error.msg}",
+              file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [vars(finding) for finding in findings],
+            "rules": {rule.code: rule.summary for rule in RULES},
+            "ok": not findings,
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = (f"{len(findings)} finding(s)" if findings
+                   else "clean: no determinism findings")
+        print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ protocol registered there is runnable with no CLI edits:
 * ``repro-ssle figure1``      — the segment-ID embedding rendering
 * ``repro-ssle figure2``      — the token trajectory
 * ``repro-ssle demo``         — a single annotated convergence run
+* ``repro-ssle check``        — model-check the self-stabilization claims of
+  registered simulated specs on their explicit configuration graphs
+  (closure, stabilization reachability, livelock freedom; see
+  :mod:`repro.check`)
 * ``repro-ssle cache``        — inspect/clear the content-addressed results store
 * ``repro-ssle serve``        — the async experiment service: a job-lifecycle
   HTTP/JSON API over one warm, shared worker pool (see
@@ -209,6 +213,28 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("demo", parents=[sweep, fmt],
                           help="a single annotated convergence run "
                                "(smallest --sizes entry; --trials is ignored)")
+    check = subparsers.add_parser(
+        "check", parents=[fmt],
+        help="model-check self-stabilization claims (closure, "
+             "reachability, livelock freedom) on the configuration graph",
+    )
+    check.add_argument("protocol", nargs="?", default=None,
+                       help="a simulated protocol spec name (default: "
+                            "check every registered simulated spec)")
+    check.add_argument("--n", type=_positive_int, default=None,
+                       help="check exactly this population size (default: "
+                            "the largest feasible n per topology under "
+                            "--max-configs; requires a protocol)")
+    check.add_argument("--topology", default=None, metavar="NAME",
+                       help="restrict the check to one topology "
+                            f"(known: {', '.join(topology_names())}; "
+                            "default: every supported topology)")
+    check.add_argument("--max-configs", type=_positive_int,
+                       default=None, metavar="N",
+                       help="configuration-count budget per check point "
+                            "(default: 1000000; larger buys bigger n at "
+                            "pure-python SCC cost)")
+
     cache = subparsers.add_parser(
         "cache", parents=[fmt],
         help="inspect or clear the content-addressed results store",
@@ -532,6 +558,73 @@ def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
     return "\n\n".join(sections), payload
 
 
+def _cmd_check(args: argparse.Namespace) -> CommandOutput:
+    from repro.check.graph import DEFAULT_MAX_CONFIGS
+    from repro.check.model import summarize, verify_all, verify_spec
+
+    max_configs = args.max_configs or DEFAULT_MAX_CONFIGS
+    if args.protocol is not None:
+        try:
+            spec = get_spec(args.protocol)
+        except KeyError as error:
+            raise CommandError(error.args[0]) from None
+        if not spec.is_simulated:
+            raise CommandError(
+                f"protocol {spec.name!r} is analytic; there is no "
+                "transition relation to model-check")
+        if args.topology is not None:
+            try:
+                spec.require_topology(args.topology)
+            except (ValueError, KeyError) as error:
+                raise CommandError(str(error)) from None
+        reports = [verify_spec(spec.name, topology=args.topology,
+                               n=args.n, max_configs=max_configs)]
+    else:
+        if args.n is not None:
+            raise CommandError(
+                "--n requires naming a protocol (feasible sizes differ "
+                "per spec); omit it for largest-feasible selection")
+        reports = verify_all(topology=args.topology, max_configs=max_configs)
+
+    summary = summarize(reports)
+    rows = []
+    for report in reports:
+        if not report.get("points"):
+            rows.append((report["spec"], "-", "-", "-", "-", "-", "-",
+                         f"skipped: {report.get('skip_reason', '')}"))
+            continue
+        for point in report["points"]:
+            if point["status"] == "skipped":
+                rows.append((report["spec"], point["topology"], "-", "-",
+                             "-", "-", "-",
+                             f"skipped: {point.get('skip_reason', '')}"))
+                continue
+            checks = point["checks"]
+            rows.append((
+                report["spec"], point["topology"], point["n"],
+                point["num_configs"], checks["closure"]["status"],
+                checks["stabilization_reachability"]["status"],
+                checks["livelock_free"]["status"], point["status"],
+            ))
+    text = format_table(
+        headers=["spec", "topology", "n", "configs", "closure",
+                 "reach-legal", "livelock-free", "status"],
+        rows=rows,
+        title=f"model-check verdicts ({summary['specs']} spec(s))",
+    )
+    verdict = ("all claims hold" if summary["ok"]
+               else f"{summary['violated']} spec(s) VIOLATED")
+    text += (f"\n{verdict}: {summary['verified']} verified, "
+             f"{summary['skipped']} skipped")
+    payload: Dict[str, object] = {
+        "command": "check",
+        "reports": reports,
+        "summary": summary,
+        "_exit_code": 0 if summary["ok"] else 1,
+    }
+    return text, payload
+
+
 def _cmd_cache(args: argparse.Namespace) -> CommandOutput:
     store = _store_from_args(args)
     if store is None:
@@ -742,6 +835,7 @@ _HANDLERS = {
     "figure2": _cmd_figure2,
     "demo": _cmd_demo,
     "cache": _cmd_cache,
+    "check": _cmd_check,
     "serve": _cmd_serve,
 }
 
@@ -760,6 +854,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # state space cannot be enumerated: a usage problem, not a crash.
         parser.error(f"{error} (drop --engine batched to use the fallback)")
         return 2  # pragma: no cover - parser.error raises SystemExit
+    # Commands that gate CI (`check`) report their verdict as an exit code
+    # alongside the payload; everything else exits 0 on success.
+    exit_code = int(payload.pop("_exit_code", 0))
     try:
         if args.format == "json":
             print(json.dumps(_jsonable(payload), indent=2, sort_keys=True))
@@ -774,7 +871,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 1
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

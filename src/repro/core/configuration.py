@@ -46,7 +46,9 @@ class Configuration(Generic[StateT]):
         return self._states == other._states
 
     def __hash__(self) -> int:
-        return hash(tuple(self._states))
+        # In-process dict/set membership only — never a seed or a stored
+        # key, so the per-process salt of builtin hash() is harmless here.
+        return hash(tuple(self._states))  # repro: allow[REP001]
 
     # ------------------------------------------------------------------ #
     # Functional updates

@@ -57,7 +57,9 @@ def _state_key(state: object) -> Hashable:
     step engine's ``changed`` comparison uses.
     """
     try:
-        hash(state)
+        # Hashability probe only: the value is discarded, so the process
+        # salt cannot leak into any derived seed or key.
+        hash(state)  # repro: allow[REP001]
     except TypeError:
         if dataclasses.is_dataclass(state):
             return (type(state), dataclasses.astuple(state))
@@ -124,16 +126,15 @@ class StateEncoder(Generic[StateT]):
         """
         if max_states < 1:
             raise InvalidParameterError(f"max_states must be >= 1, got {max_states}")
-        if use_declared_bound:
-            try:
-                bound = protocol.state_space_size()
-            except NotImplementedError:
-                bound = None
-            if bound is not None and bound > max_states:
-                raise StateSpaceError(
-                    f"{protocol.name} declares up to {bound} states per agent, "
-                    f"over the enumeration cap of {max_states}"
-                )
+        try:
+            bound = protocol.state_space_size()
+        except NotImplementedError:
+            bound = None
+        if use_declared_bound and bound is not None and bound > max_states:
+            raise StateSpaceError(
+                f"{protocol.name} declares up to {bound} states per agent, "
+                f"over the enumeration cap of {max_states}"
+            )
         seed_states = list(seeds) if seeds else list(protocol.canonical_states())
         if not seed_states:
             raise InvalidParameterError(
@@ -150,9 +151,17 @@ class StateEncoder(Generic[StateT]):
             if code is not None:
                 return code
             if len(states) >= max_states:
+                # Name the state that overflowed and the declared bound:
+                # when a spec mis-declares state_space_size() this is the
+                # first (and only) place the mismatch surfaces.
+                declared = (f"declares {bound} states per agent"
+                            if bound is not None
+                            else "declares no finite state bound")
                 raise StateSpaceError(
                     f"{protocol.name}: reachable state space exceeds the "
-                    f"enumeration cap of {max_states}"
+                    f"enumeration cap of {max_states}: state {state!r} "
+                    f"would be state #{max_states + 1} "
+                    f"(the protocol {declared})"
                 )
             code = len(states)
             index[key] = code

@@ -253,7 +253,7 @@ class ResultsStore:
         ``age_days`` is the record file's age by mtime — the time of the
         last write-back, which is what the ``--older-than`` GC evicts by.
         """
-        now = time.time()
+        now = time.time()  # repro: allow[REP004] (record age, not identity)
         rows: List[Dict[str, object]] = []
         for digest in self.record_digests():
             path = self.record_path(digest)
@@ -321,7 +321,7 @@ class ResultsStore:
         if older_than_days is not None and older_than_days < 0:
             raise ValueError(
                 f"older_than_days must be >= 0, got {older_than_days}")
-        now = time.time()
+        now = time.time()  # repro: allow[REP004] (GC age policy, not identity)
         removed = 0
         for digest in self.record_digests():
             if not digest.startswith(digest_prefix):

@@ -1,0 +1,72 @@
+"""Request validation: one bad request reports *all* of its problems,
+single problems keep their original exception types, and a sweep with
+several bad points names every one of them in a single error."""
+
+import pytest
+
+from repro.api.config import ExperimentConfig
+from repro.api.executor import BatchRequest, run_batches, validate_batch
+
+TINY = ExperimentConfig(trials=2, max_steps=10_000, check_interval=16)
+
+
+def test_validate_batch_returns_the_resolved_family():
+    assert validate_batch(BatchRequest("yokota2021", 8, TINY)) == "adversarial"
+    assert validate_batch(
+        BatchRequest("ppl", 8, TINY, family="leaderless-trap")
+    ) == "leaderless-trap"
+
+
+def test_single_problems_keep_their_original_exception_types():
+    with pytest.raises(KeyError, match="no configuration family"):
+        validate_batch(BatchRequest("yokota2021", 8, TINY, family="nope"))
+    with pytest.raises(ValueError, match="does not support n=1"):
+        validate_batch(BatchRequest("yokota2021", 1, TINY))
+    with pytest.raises(ValueError, match="trials must be >= 1"):
+        validate_batch(BatchRequest("yokota2021", 8, TINY, trials=0))
+
+
+def test_unknown_and_analytic_specs_stay_fail_fast():
+    # Nothing downstream is checkable without a simulated spec, so these
+    # short-circuit even when the request has further problems.
+    with pytest.raises(KeyError):
+        validate_batch(BatchRequest("no-such-spec", 8, TINY, trials=0))
+    with pytest.raises(ValueError, match="analytic"):
+        validate_batch(BatchRequest("chen-chen", 8, TINY, family="nope"))
+
+
+def test_validate_batch_aggregates_every_independent_problem():
+    request = BatchRequest(
+        "yokota2021", 8, ExperimentConfig(topology="complete"),
+        family="nope", trials=0)
+    with pytest.raises(ValueError) as excinfo:
+        validate_batch(request)
+    message = str(excinfo.value)
+    assert "invalid request for 'yokota2021' (n=8): 3 problems" in message
+    # Each problem's own message survives the fold, so the caller sees the
+    # unsupported topology, the unknown family, AND the bad trial count.
+    assert "topology" in message
+    assert "no configuration family 'nope'" in message
+    assert "trials must be >= 1" in message
+
+
+def test_run_batches_reports_every_bad_point_with_its_index():
+    requests = [
+        BatchRequest("yokota2021", 8, TINY, family="nope"),
+        BatchRequest("yokota2021", 8, TINY),
+        BatchRequest("yokota2021", 8, TINY, trials=0),
+    ]
+    with pytest.raises(ValueError) as excinfo:
+        run_batches(requests)
+    message = str(excinfo.value)
+    assert "invalid sweep: 2 of 3 points rejected" in message
+    assert "point 0 ('yokota2021', n=8): " in message
+    assert "no configuration family 'nope'" in message
+    assert "point 2 ('yokota2021', n=8): trials must be >= 1" in message
+    assert "point 1" not in message  # the valid point is not blamed
+
+
+def test_run_batches_single_bad_point_keeps_the_original_error():
+    with pytest.raises(KeyError, match="no configuration family"):
+        run_batches([BatchRequest("ppl", 8, TINY, family="nope"),
+                     BatchRequest("yokota2021", 8, TINY)])

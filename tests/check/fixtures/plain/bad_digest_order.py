@@ -1,0 +1,17 @@
+"""REP005 fixture: unsorted dict/set iteration feeding a digest."""
+
+import hashlib
+import json
+
+
+def unsorted_dumps_digest(payload: dict) -> str:
+    canonical = json.dumps(payload)
+    return hashlib.blake2b(canonical.encode()).hexdigest()
+
+
+def unsorted_items_digest(payload: dict) -> str:
+    return hashlib.sha256(str(list(payload.items())).encode()).hexdigest()
+
+
+def set_display_digest(names) -> str:
+    return hashlib.blake2b(str({name for name in names}).encode()).hexdigest()

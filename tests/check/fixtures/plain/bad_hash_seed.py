@@ -1,0 +1,9 @@
+"""REP001 fixture: builtin hash() in seed derivation (process-salted)."""
+
+
+def derive_seed(label: str, index: int) -> int:
+    return hash((label, index)) % (2 ** 31)
+
+
+def cache_key(name: str) -> str:
+    return f"{name}-{hash(name)}"

@@ -1,0 +1,12 @@
+"""REP002 fixture: module-level random use outside repro.core.rng."""
+
+import random
+
+
+def draw_adversarial(n: int):
+    generator = random.Random(7)
+    return [generator.randint(0, 1) for _ in range(n)]
+
+
+def jitter() -> float:
+    return random.random()

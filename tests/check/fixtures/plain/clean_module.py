@@ -1,0 +1,29 @@
+"""Negative fixture: determinism-correct spellings of every rule's topic."""
+
+import hashlib
+import json
+import time
+
+
+def blake_seed(label: str) -> int:
+    digest = hashlib.blake2b(label.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def canonical_digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode()).hexdigest()
+
+
+def sorted_items_digest(payload: dict) -> str:
+    return hashlib.sha256(str(sorted(payload.items())).encode()).hexdigest()
+
+
+def duration(started: float) -> float:
+    return time.perf_counter() - started
+
+
+def lazy_numpy(values):
+    import numpy
+
+    return numpy.asarray(values)

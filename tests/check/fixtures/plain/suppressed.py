@@ -1,0 +1,16 @@
+"""Suppression fixture: audited exceptions silence their rule inline."""
+
+import time
+
+
+def membership_probe(state) -> bool:
+    try:
+        hash(state)  # repro: allow[REP001]
+    except TypeError:
+        return False
+    return True
+
+
+def age_and_key(name: str):
+    now = time.time()  # repro: allow[REP004, REP001]
+    return now, hash(name)  # repro: allow[REP001]

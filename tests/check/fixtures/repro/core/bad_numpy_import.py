@@ -1,0 +1,7 @@
+"""REP003 fixture: module-scope numpy import inside repro.core."""
+
+import numpy as np
+
+
+def as_array(values):
+    return np.asarray(values)

@@ -1,0 +1,12 @@
+"""REP004 fixture: wall clock in a result-identity (store) path."""
+
+import time
+from time import time as now
+
+
+def record_key(spec: str) -> str:
+    return f"{spec}-{time.time()}"
+
+
+def stamp() -> float:
+    return now()

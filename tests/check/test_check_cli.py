@@ -1,0 +1,119 @@
+"""The ``repro-ssle check`` subcommand: verdict output, JSON schema,
+usage errors, and the violation exit code the CI gate keys on."""
+
+import json
+
+import pytest
+
+from repro.api.registry import (
+    CheckPolicy,
+    ProtocolSpec,
+    register,
+    unregister,
+)
+from repro.cli import build_parser, main
+from repro.core.configuration import Configuration
+from repro.core.protocol import Protocol
+
+
+def test_parser_accepts_check_options():
+    args = build_parser().parse_args(
+        ["check", "yokota2021", "--n", "2", "--topology", "directed-ring",
+         "--max-configs", "50000", "--format", "json"])
+    assert args.command == "check"
+    assert args.protocol == "yokota2021"
+    assert (args.n, args.topology, args.max_configs) == (2, "directed-ring",
+                                                         50000)
+
+
+def test_parser_check_defaults_to_all_specs():
+    args = build_parser().parse_args(["check"])
+    assert args.protocol is None and args.n is None
+    assert args.topology is None and args.max_configs is None
+
+
+def test_check_json_reports_verdicts(capsys):
+    assert main(["check", "yokota2021", "--n", "2", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "check"
+    assert payload["summary"]["ok"] is True
+    (report,) = payload["reports"]
+    assert report["spec"] == "yokota2021"
+    assert report["status"] == "verified"
+    point = report["points"][0]
+    assert all(point["checks"][check]["status"] == "verified"
+               for check in ("closure", "stabilization_reachability",
+                             "livelock_free"))
+    assert "_exit_code" not in payload  # internal routing, not output
+
+
+def test_check_text_renders_a_verdict_table(capsys):
+    assert main(["check", "yokota2021", "--n", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "model-check verdicts" in out
+    assert "all claims hold" in out
+    assert "directed-ring" in out
+
+
+def test_check_skipped_spec_reports_the_reason(capsys):
+    assert main(["check", "ppl", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (report,) = payload["reports"]
+    assert report["status"] == "skipped"
+    assert "enumeration cap" in report["skip_reason"]
+
+
+def test_check_usage_errors():
+    with pytest.raises(SystemExit):
+        main(["check", "nope"])  # unknown spec
+    with pytest.raises(SystemExit):
+        main(["check", "chen-chen"])  # analytic: nothing to model-check
+    with pytest.raises(SystemExit):
+        main(["check", "--n", "2"])  # --n without a protocol
+    with pytest.raises(SystemExit):
+        main(["check", "yokota2021", "--topology", "complete"])  # unsupported
+
+
+class _FlipProtocol(Protocol):
+    name = "flip-cli-test"
+
+    def transition(self, initiator, responder):
+        return initiator, 1 - responder
+
+    def output(self, state):
+        return "L" if state == 1 else "F"
+
+    def random_state(self, rng):
+        return rng.randint(0, 1)
+
+    def state_space_size(self):
+        return 2
+
+    def canonical_states(self):
+        return (0, 1)
+
+
+def test_check_violation_sets_the_exit_code(capsys):
+    # An event-style predicate with closure claimed: the check must fail
+    # loudly — nonzero exit plus a violated verdict in the payload.
+    register(ProtocolSpec(
+        name="flip-cli-test",
+        summary="closure-violating toy spec (CLI exit-code test)",
+        factory=lambda n, config: _FlipProtocol(),
+        families={"adversarial": lambda protocol, n, rng: Configuration(
+            [protocol.random_state(rng) for _ in range(n)])},
+        stop_predicate=lambda protocol: (
+            lambda states: sum(states) == 1),
+        check=CheckPolicy(),
+    ))
+    try:
+        code = main(["check", "flip-cli-test", "--n", "2",
+                     "--topology", "directed-ring", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+    finally:
+        unregister("flip-cli-test")
+    assert code == 1
+    assert payload["summary"]["violated"] == 1
+    (report,) = payload["reports"]
+    assert report["points"][0]["checks"]["closure"]["status"] == "violated"
+    assert "example" in report["points"][0]["checks"]["closure"]

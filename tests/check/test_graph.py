@@ -1,0 +1,185 @@
+"""Configuration-graph algorithms on hand-computed toy dynamics.
+
+Each toy table is small enough that closure, reachability, and livelock
+verdicts are derivable by hand (and cross-checked against a brute-force
+BFS reference inside the tests), so these tests pin the SCC machinery
+independently of any registered protocol.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.check.graph import (
+    ConfigurationGraph,
+    analyze,
+    bottom_components,
+    closure_violations,
+    component_has,
+    components_reaching,
+    tarjan_components,
+)
+from repro.core.errors import InvalidParameterError
+
+
+def build_graph(num_states: int, num_agents: int, arcs, rule) -> ConfigurationGraph:
+    """Compile ``rule(i, r) -> (i', r')`` into flat tables."""
+    width = num_states
+    initiator_out: List[int] = []
+    responder_out: List[int] = []
+    changed: List[bool] = []
+    for initiator in range(width):
+        for responder in range(width):
+            after_i, after_r = rule(initiator, responder)
+            initiator_out.append(after_i)
+            responder_out.append(after_r)
+            changed.append(after_i != initiator or after_r != responder)
+    return ConfigurationGraph(num_states, num_agents, arcs,
+                              initiator_out, responder_out, changed)
+
+
+def ring(n: int):
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+def reaches_by_bfs(graph: ConfigurationGraph, start: int,
+                   legal: bytearray) -> bool:
+    """Brute-force reference: can ``start`` reach a legal configuration?"""
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if legal[node]:
+            return True
+        for succ in graph.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return False
+
+
+def test_mixed_radix_roundtrip():
+    graph = build_graph(3, 4, ring(4), lambda i, r: (i, r))
+    for cid in (0, 1, 5, 80, graph.num_configs - 1):
+        assert graph.encode(graph.digits(cid)) == cid
+    assert graph.digits(5) == [2, 1, 0, 0]  # least-significant agent first
+    with pytest.raises(InvalidParameterError):
+        graph.encode([0, 0])  # wrong number of agents
+
+
+def test_successors_apply_the_table_along_arcs():
+    # Copy dynamics: the responder adopts the initiator's state.
+    graph = build_graph(2, 3, ring(3), lambda i, r: (i, i))
+    # Configuration (1, 0, 0): arcs (0,1) copies 1 forward, (1,2) and
+    # (2,0) copy a 0 onto an agent that already holds the same value as
+    # the initiator only for (1,2); (2,0) would overwrite agent 0's 1.
+    cid = graph.encode([1, 0, 0])
+    succs = set(graph.successors(cid))
+    assert succs == {graph.encode([1, 1, 0]), graph.encode([0, 0, 0])}
+    # Uniform configurations are fixed points: every arc is a no-op.
+    assert graph.successors(graph.encode([1, 1, 1])) == []
+
+
+def test_absorbing_spread_dynamics_detects_the_dead_start():
+    # (1, 0) -> (1, 1): ones spread and never vanish.  The all-zero
+    # configuration has no enabled transition: an illegal fixed point.
+    def rule(i, r):
+        return (i, 1) if (i, r) == (1, 0) else (i, r)
+
+    graph = build_graph(2, 3, ring(3), rule)
+    legal = bytearray(graph.num_configs)
+    legal[graph.encode([1, 1, 1])] = 1
+
+    analysis = analyze(graph, legal)
+    assert analysis.num_configs == 8
+    assert analysis.num_legal == 1
+    assert analysis.closed  # all-ones is a fixed point
+    assert not analysis.stabilizing  # the all-zero trap cannot escape
+    assert analysis.unreachable_components == 1
+    assert graph.digits(analysis.unreachable_example) == [0, 0, 0]
+    assert analysis.livelock_components == 1
+    assert graph.digits(analysis.livelock_example) == [0, 0, 0]
+    # The BFS reference agrees configuration-by-configuration.
+    for cid in range(graph.num_configs):
+        assert reaches_by_bfs(graph, cid, legal) == (cid != graph.encode([0, 0, 0]))
+
+
+def test_oscillator_violates_closure_but_stabilizes():
+    # The responder always flips: the 4-configuration graph of n=2 is one
+    # strongly connected component, so everything reaches the legal set,
+    # but nothing stays in it.
+    graph = build_graph(2, 2, ring(2), lambda i, r: (i, 1 - r))
+    legal = bytearray(graph.num_configs)
+    legal[graph.encode([1, 0])] = 1
+    legal[graph.encode([0, 1])] = 1
+
+    scc = tarjan_components(graph)
+    assert scc.count == 1
+    analysis = analyze(graph, legal)
+    assert not analysis.closed
+    assert len(analysis.closure_violations) >= 1
+    source, target = analysis.closure_violations[0]
+    assert legal[source] and not legal[target]
+    assert analysis.stabilizing
+    assert analysis.livelock_free
+
+
+def test_monotone_max_dynamics_is_acyclic_with_three_bottoms():
+    # (i, r) -> (i, max(i, r)): values only grow, so the graph is a DAG
+    # (every configuration its own component) whose fixed points are the
+    # three uniform configurations.
+    graph = build_graph(3, 3, ring(3), lambda i, r: (i, max(i, r)))
+    legal = bytearray(graph.num_configs)
+    legal[graph.encode([2, 2, 2])] = 1
+
+    scc = tarjan_components(graph)
+    assert scc.count == graph.num_configs  # acyclic: singleton components
+    bottoms = bottom_components(graph, scc)
+    assert sum(bottoms) == 3  # the uniform fixed points
+    analysis = analyze(graph, legal)
+    assert analysis.closed
+    assert not analysis.stabilizing  # no 2 can appear where none exists
+    assert analysis.livelock_components == 2  # all-0 and all-1
+    # Exactly the configurations containing a 2 reach the legal one.
+    for cid in range(graph.num_configs):
+        expected = 2 in graph.digits(cid)
+        assert reaches_by_bfs(graph, cid, legal) == expected
+
+
+def test_components_reaching_matches_bfs_on_every_component():
+    def rule(i, r):
+        return (i, 1) if (i, r) == (1, 0) else (i, r)
+
+    graph = build_graph(2, 4, ring(4), rule)
+    legal = bytearray(graph.num_configs)
+    legal[graph.encode([1, 1, 1, 1])] = 1
+    scc = tarjan_components(graph)
+    reaches = components_reaching(graph, scc, component_has(graph, scc, legal))
+    for cid in range(graph.num_configs):
+        assert reaches[scc.component[cid]] == reaches_by_bfs(graph, cid, legal)
+
+
+def test_tarjan_component_ids_are_reverse_topological():
+    graph = build_graph(3, 2, ring(2), lambda i, r: (i, max(i, r)))
+    scc = tarjan_components(graph)
+    for cid in range(graph.num_configs):
+        for succ in graph.successors(cid):
+            assert scc.component[cid] >= scc.component[succ]
+
+
+def test_closure_violation_limit_caps_the_scan():
+    graph = build_graph(2, 2, ring(2), lambda i, r: (i, 1 - r))
+    legal = bytearray(b"\x01" * graph.num_configs)
+    legal[graph.encode([1, 1])] = 0
+    violations = closure_violations(graph, legal, limit=1)
+    assert len(violations) == 1
+
+
+def test_graph_rejects_malformed_inputs():
+    with pytest.raises(InvalidParameterError):
+        ConfigurationGraph(2, 2, [(0, 5)], [0] * 4, [0] * 4, [False] * 4)
+    with pytest.raises(InvalidParameterError):
+        ConfigurationGraph(2, 2, [(0, 1)], [0] * 3, [0] * 3, [False] * 3)
+    graph = build_graph(2, 2, ring(2), lambda i, r: (i, r))
+    with pytest.raises(InvalidParameterError):
+        analyze(graph, bytearray(3))

@@ -81,6 +81,56 @@ def test_enumeration_cap_stops_the_closure():
         )
 
 
+def test_enumeration_cap_error_names_the_state_and_the_declared_bound():
+    class Growing(Protocol):
+        name = "growing"
+
+        def transition(self, initiator, responder):
+            return initiator, responder + 1
+
+        def output(self, state):  # pragma: no cover
+            return "F"
+
+        def random_state(self, rng):  # pragma: no cover
+            return 0
+
+        def state_space_size(self):
+            return 1000
+
+        def canonical_states(self):
+            return (0,)
+
+    with pytest.raises(StateSpaceError) as excinfo:
+        StateEncoder.build(Growing(), max_states=3, use_declared_bound=False)
+    message = str(excinfo.value)
+    # The diagnostic names the state that overflowed the cap and the
+    # protocol's declared bound, so a mis-declared state_space_size() is
+    # visible at the point where the mismatch first surfaces.
+    assert "growing" in message
+    assert "enumeration cap of 3" in message
+    assert "state 3" in message  # 0, 1, 2 fit; interning 3 overflows
+    assert "state #4" in message
+    assert "declares 1000 states per agent" in message
+
+
+def test_enumeration_cap_error_without_a_declared_bound():
+    class Unbounded(Protocol):
+        name = "unbounded"
+
+        def transition(self, initiator, responder):
+            return initiator, responder + 1
+
+        def output(self, state):  # pragma: no cover
+            return "F"
+
+        def random_state(self, rng):  # pragma: no cover
+            return 0
+
+    with pytest.raises(StateSpaceError, match="declares no finite state bound"):
+        StateEncoder.build(Unbounded(), seeds=(0,), max_states=2,
+                           use_declared_bound=False)
+
+
 def test_canonical_states_are_the_default_seeds():
     protocol = AngluinModKProtocol(2)
     encoder = StateEncoder.build(protocol)
