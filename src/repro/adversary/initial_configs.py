@@ -36,11 +36,14 @@ tests):
 
 from __future__ import annotations
 
+from math import isqrt
 from typing import Callable, Dict, List
 
 from repro.core.configuration import Configuration
 from repro.core.errors import InvalidParameterError
+from repro.core.protocol import Protocol
 from repro.core.rng import RandomSource, ensure_source
+from repro.topology.graph import Population
 from repro.protocols.ppl import (
     MODE_CONSTRUCT,
     PPLParams,
@@ -104,6 +107,59 @@ def stale_signals(n: int, params: PPLParams, rng: RandomSource) -> Configuration
         state.signal_r = params.kappa_max if agent % 3 == 0 else rng.randint(0, params.kappa_max)
         state.signal_b = 1 if agent % 2 == 0 else 0
         state.bullet = rng.randint(0, 2)
+    return Configuration(states)
+
+
+# ---------------------------------------------------------------------- #
+# Protocol-generic, topology-aware families
+# ---------------------------------------------------------------------- #
+def _state_with_leader_flag(protocol: Protocol, rng: RandomSource,
+                            want_leader: bool):
+    """A random state whose leader output matches ``want_leader``.
+
+    Bounded rejection sampling over ``protocol.random_state``: every
+    registered protocol's state space contains both outputs with constant
+    probability under its random-state distribution, so the bound exists
+    only to turn a pathological custom protocol into a loud error instead
+    of a hang.
+    """
+    for _ in range(256):
+        state = protocol.random_state(rng)
+        if protocol.is_leader(state) == want_leader:
+            return state
+    raise InvalidParameterError(
+        f"protocol {protocol.name!r}: could not draw a random state with "
+        f"is_leader={want_leader} in 256 attempts"
+    )
+
+
+def packed_leader_row(protocol: Protocol, n: int, rng: RandomSource,
+                      population: Population) -> Configuration:
+    """Torus worst case: every leader packed into one grid row (row 0).
+
+    On a 2D torus the elimination dynamics must drain an entire row of
+    colliding leaders through its ring of columns — the per-topology
+    adversarial start the PR-3 topology work left open.  On populations
+    without grid coordinates the "row" degrades to the first
+    ``max(1, isqrt(n))`` agents: a contiguous packed run of leaders, the
+    analogous worst case on a ring.
+
+    Per-agent states come from per-index child streams
+    (``rng.spawn(f"agent-{i}")``), so the configuration is a pure function
+    of the seed and the agent index — independent of iteration order, and
+    stable when the topology (not the size) changes.
+    """
+    coordinates = getattr(population, "coordinates", None)
+    if coordinates is not None:
+        in_row = [coordinates(agent)[0] == 0 for agent in range(n)]
+    else:
+        span = max(1, isqrt(n))
+        in_row = [agent < span for agent in range(n)]
+    states = [
+        _state_with_leader_flag(protocol, rng.spawn(f"agent-{agent}"),
+                                want_leader)
+        for agent, want_leader in enumerate(in_row)
+    ]
     return Configuration(states)
 
 

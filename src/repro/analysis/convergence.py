@@ -109,6 +109,61 @@ def measure_convergence(
 
 
 @dataclass(frozen=True)
+class PhaseSummary:
+    """Step statistics for one scenario phase across a batch of trials.
+
+    ``summary`` covers the trials that *converged in this phase*;
+    ``failures`` counts the trials whose run ended unconverged here — the
+    phase a scenario failure is attributed to.  Trials that never reached
+    this phase (their run stopped at an earlier phase's budget miss)
+    contribute to neither number.
+    """
+
+    phase: int
+    perturbation: str
+    summary: SampleSummary
+    failures: int
+
+    @property
+    def converged(self) -> int:
+        """Trials that completed this phase within its budget."""
+        return self.summary.count
+
+
+def summarize_phases(trials: Sequence) -> List[PhaseSummary]:
+    """Per-phase re-convergence summaries over one batch of scenario trials.
+
+    ``trials`` is any sequence of objects exposing a ``phases`` sequence of
+    per-phase records (``phase``/``perturbation``/``steps``/``converged`` —
+    the shape :class:`repro.api.executor.TrialResult` reports), so it works
+    on live results and on records rebuilt from the store alike.  Legacy
+    trials (empty ``phases``) contribute nothing; a batch of them summarizes
+    to the empty list.
+    """
+    steps_by_phase: dict = {}
+    failures_by_phase: dict = {}
+    labels: dict = {}
+    for trial in trials:
+        for phase in getattr(trial, "phases", ()):
+            labels.setdefault(phase.phase, phase.perturbation)
+            if phase.converged:
+                steps_by_phase.setdefault(phase.phase, []).append(phase.steps)
+            else:
+                failures_by_phase[phase.phase] = (
+                    failures_by_phase.get(phase.phase, 0) + 1)
+    return [
+        PhaseSummary(
+            phase=index,
+            perturbation=labels[index],
+            summary=(SampleSummary.of(steps_by_phase[index])
+                     if steps_by_phase.get(index) else SampleSummary.empty()),
+            failures=failures_by_phase.get(index, 0),
+        )
+        for index in sorted(labels)
+    ]
+
+
+@dataclass(frozen=True)
 class ClosureReport:
     """Outcome of a closure check: did the outputs ever change after the safe point?"""
 

@@ -30,6 +30,13 @@ from repro.api.config import (
 )
 from repro.api.executor import TrialResult, run_trials, trial_tasks
 from repro.api.registry import ProtocolSpec, get_spec
+from repro.scenario.spec import (
+    DEGENERATE_PHASE,
+    CanonicalScenario,
+    normalize_scenario,
+    parse_scenario,
+    scenario_to_json,
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +54,7 @@ class ExperimentResult:
     wall_time: float
     topology: str = DEFAULT_TOPOLOGY
     topology_params: Tuple[Tuple[str, int], ...] = ()
+    scenario: CanonicalScenario = ()
 
     # ------------------------------------------------------------------ #
     # Summaries
@@ -89,6 +97,7 @@ class ExperimentResult:
             "topology": self.topology,
             "topology_params": dict(self.topology_params),
             "family": self.family,
+            "scenario": scenario_to_json(self.scenario),
             "seed": self.seed,
             "max_steps": self.max_steps,
             "workers": self.workers,
@@ -122,6 +131,8 @@ class ExperimentBuilder:
         self._topology: str = DEFAULT_TOPOLOGY
         self._topology_params: Dict[str, int] = {}
         self._store = None
+        self._scenario_phases: List[Tuple] = []
+        self._pending_perturbation: Optional[Tuple[str, Tuple]] = None
 
     # ------------------------------------------------------------------ #
     # Fluent setters (each returns the builder)
@@ -174,6 +185,83 @@ class ExperimentBuilder:
     def until_safe(self) -> "ExperimentBuilder":
         """Stop each trial at the spec's safety/stability predicate (default)."""
         return self
+
+    # ------------------------------------------------------------------ #
+    # Phased scenarios (perturb and re-converge)
+    # ------------------------------------------------------------------ #
+    def scenario(self, value) -> "ExperimentBuilder":
+        """Run a whole phased scenario per trial (see :mod:`repro.scenario`).
+
+        ``value`` is a catalog string (``"corrupt-recover:k=2"`` — the CLI's
+        ``--scenario`` grammar), a canonical phase tuple, a
+        :class:`~repro.scenario.spec.ScenarioSpec`, or a list of phase
+        mappings.  Replaces anything a previous ``then_*`` chain staged.
+        """
+        if isinstance(value, str):
+            canonical = parse_scenario(value)
+        else:
+            canonical = normalize_scenario(value)
+        self._scenario_phases = list(canonical)
+        self._pending_perturbation = None
+        return self
+
+    def _stage_perturbation(self, name: str, params: Tuple) -> "ExperimentBuilder":
+        """Stage one perturbation; the next ``then_converge``/``then_run``
+        closes it into a phase.  The first staged perturbation implicitly
+        prepends today's plain convergence phase (perturb *after* the system
+        has stabilized), and staging twice in a row closes the earlier one
+        with a default converge phase."""
+        if not self._scenario_phases and self._pending_perturbation is None:
+            self._scenario_phases.append(DEGENERATE_PHASE)
+        if self._pending_perturbation is not None:
+            staged_name, staged_params = self._pending_perturbation
+            self._scenario_phases.append((staged_name, staged_params, "converge", 0))
+        self._pending_perturbation = (name, params)
+        return self
+
+    def then_corrupt(self, k: int = 1) -> "ExperimentBuilder":
+        """After the previous phase, corrupt ``k`` agent states at random."""
+        return self._stage_perturbation("corrupt-states", (("k", k),))
+
+    def then_churn(self, leave: int = 1, join: int = 1) -> "ExperimentBuilder":
+        """After the previous phase, ``leave`` agents depart and ``join``
+        fresh agents arrive (the topology re-wires at the new size)."""
+        return self._stage_perturbation("churn", (("join", join), ("leave", leave)))
+
+    def then_bias(self, weight: int = 4, hot: int = 0) -> "ExperimentBuilder":
+        """After the previous phase, bias the scheduler: a hot arc set is
+        ``weight`` times likelier per draw (``hot=0`` = a quarter of arcs)."""
+        params = (("weight", weight),) if hot == 0 else (("hot", hot), ("weight", weight))
+        return self._stage_perturbation("bias", params)
+
+    def then_converge(self, max_steps: int = 0) -> "ExperimentBuilder":
+        """Close the staged perturbation (if any) with a re-convergence
+        phase; ``max_steps=0`` inherits the chain's per-trial budget."""
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be non-negative, got {max_steps}")
+        name, params = self._pending_perturbation or ("", ())
+        self._pending_perturbation = None
+        self._scenario_phases.append((name, params, "converge", max_steps))
+        return self
+
+    def then_run(self, steps: int) -> "ExperimentBuilder":
+        """Close the staged perturbation (if any) with a fixed-length phase:
+        exactly ``steps`` steps, no stop predicate."""
+        if steps < 1:
+            raise ValueError(f"then_run steps must be >= 1, got {steps}")
+        name, params = self._pending_perturbation or ("", ())
+        self._pending_perturbation = None
+        self._scenario_phases.append((name, params, "run", steps))
+        return self
+
+    def _scenario_value(self) -> CanonicalScenario:
+        """The chain's canonical scenario (a dangling ``then_corrupt(...)``
+        etc. is closed with a default re-convergence phase)."""
+        phases = list(self._scenario_phases)
+        if self._pending_perturbation is not None:
+            name, params = self._pending_perturbation
+            phases.append((name, params, "converge", 0))
+        return normalize_scenario(tuple(phases))
 
     def trials(self, count: int) -> "ExperimentBuilder":
         """Number of independent trials."""
@@ -286,6 +374,7 @@ class ExperimentBuilder:
             engine=self._engine,
             topology=self._topology,
             topology_params=freeze_topology_params(self._topology_params),
+            scenario=self._scenario_value(),
         )
 
     def describe(self) -> Dict[str, object]:
@@ -296,6 +385,7 @@ class ExperimentBuilder:
             "topology": self._topology,
             "topology_params": dict(self._topology_params),
             "family": self._family,
+            "scenario": scenario_to_json(self._scenario_value()),
             "trials": self._trials,
             "seed": self._seed,
             "max_steps": self._max_steps,
@@ -309,6 +399,12 @@ class ExperimentBuilder:
     def run(self) -> ExperimentResult:
         """Execute the configured trials and return the typed result."""
         config = self.build_config()
+        if config.scenario:
+            # Fail in the chain, not mid-run: every phase's perturbation,
+            # parameters, and churn-resized population must be feasible.
+            from repro.scenario.runtime import validate_scenario
+
+            validate_scenario(config.scenario, self._spec, self._n, config)
         tasks = trial_tasks(
             self._spec.name, self._n, config, self._family,
             rng_label=self._spec.rng_label or self._spec.name,
@@ -330,6 +426,7 @@ class ExperimentBuilder:
             wall_time=wall_time,
             topology=self._topology,
             topology_params=freeze_topology_params(self._topology_params),
+            scenario=config.scenario,
         )
 
 

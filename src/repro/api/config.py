@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence, Tuple
 
 from repro.core.rng import RandomSource
+from repro.scenario.spec import normalize_scenario
 from repro.topology.registry import DEFAULT_TOPOLOGY
 
 
@@ -47,6 +48,13 @@ class ExperimentConfig:
     sorted tuple of ``(name, value)`` pairs — a tuple, not a dict, so the
     config stays frozen, hashable, and picklable for the worker processes,
     which rebuild the population from these fields deterministically.
+
+    ``scenario`` carries the canonical phased scenario (see
+    :mod:`repro.scenario.spec`): a tuple of
+    ``(perturbation, params, stop, budget)`` phase tuples.  It is
+    normalized on construction, so the degenerate single-convergence
+    scenario — however it was spelled — always canonicalizes to the empty
+    tuple and keeps legacy configs' store digests byte-identical.
     """
 
     sizes: Sequence[int] = (8, 16, 32)
@@ -59,6 +67,10 @@ class ExperimentConfig:
     topology: str = DEFAULT_TOPOLOGY
     topology_params: Tuple[Tuple[str, int], ...] = ()
     check_backoff: bool = False
+    scenario: Tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenario", normalize_scenario(self.scenario))
 
     def rng(self, label: str) -> RandomSource:
         """A reproducible random stream for one experiment component."""

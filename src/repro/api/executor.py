@@ -78,8 +78,42 @@ class TrialTask:
 
 
 @dataclass(frozen=True)
+class PhaseResult:
+    """One scenario phase's breakdown within a :class:`TrialResult`.
+
+    Lives here (not in :mod:`repro.scenario`) so the results store and the
+    analysis layer can reconstruct stored trials without importing the
+    scenario runtime.
+    """
+
+    #: Zero-based position of the phase in the scenario.
+    phase: int
+    #: Perturbation applied before this phase ran ("" for none).
+    perturbation: str
+    #: Steps this phase executed.
+    steps: int
+    #: True when the phase's stop condition was met inside its budget
+    #: (always True for fixed-budget "run" phases).
+    converged: bool
+    #: Engine that executed this phase (a perturbation can force a tier
+    #: change mid-scenario, e.g. corrupted states the shared table misses).
+    engine: str = "step"
+    #: Population size this phase ran at (churn changes it).
+    population_size: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class TrialResult:
-    """Outcome of one trial: steps to the stop predicate, or a budget miss."""
+    """Outcome of one trial: steps to the stop predicate, or a budget miss.
+
+    For scenario trials, ``steps``/``converged`` aggregate over the phases
+    (total steps; every converge phase satisfied) and ``phases`` carries the
+    per-phase breakdown; legacy single-convergence trials leave ``phases``
+    empty and are byte-identical to all previous releases.
+    """
 
     trial: int
     steps: int
@@ -88,15 +122,20 @@ class TrialResult:
     #: Which engine actually executed the trial ("step", "batched", or
     #: "numpy") — observability for the auto engine's tier choice.  All
     #: engines produce identical steps/converged for the same seeds.
+    #: Scenario trials whose phases ran on different tiers report "mixed".
     engine: str = "step"
     #: Display name of the protocol instance that ran.  The worker builds
     #: the protocol anyway, so reporting the name here lets aggregators
     #: (run_spec, the builder) resolve it without constructing a throwaway
     #: instance of their own before the fan-out.
     protocol_name: str = ""
+    #: Per-phase breakdown of a scenario trial (empty for legacy trials).
+    phases: Tuple[PhaseResult, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        payload = asdict(self)
+        payload["phases"] = [dict(phase) for phase in payload["phases"]]
+        return payload
 
 
 @dataclass(frozen=True)
@@ -235,6 +274,7 @@ def execute_trial(task: TrialTask) -> TrialResult:
     initial = spec.build_configuration(
         task.family, protocol, task.population_size,
         RandomSource(task.configuration_seed),
+        population=population,
     )
     engine = task.config.engine
     encoder = None
@@ -246,6 +286,25 @@ def execute_trial(task: TrialTask) -> TrialResult:
             # The batch-level compilation already established that the state
             # space does not enumerate; skip re-proving it on every trial.
             engine = "step"
+    if task.config.scenario:
+        # Phased scenario: the runtime replays phase 0 exactly like the
+        # legacy path below (same ingredients, same streams) and then
+        # perturbs and re-converges per phase.  Imported lazily — the
+        # runtime sits above this module in the import graph.
+        from repro.scenario.runtime import execute_scenario
+
+        started = time.perf_counter()
+        outcome = execute_scenario(spec, task, protocol, population, initial,
+                                   engine=engine, encoder=encoder)
+        return TrialResult(
+            trial=task.trial,
+            steps=outcome.steps,
+            converged=outcome.converged,
+            wall_time=time.perf_counter() - started,
+            engine=outcome.engine,
+            protocol_name=outcome.protocol_name,
+            phases=outcome.phases,
+        )
     started = time.perf_counter()
     simulation = spec.build_simulation(
         protocol, population, initial, RandomSource(task.scheduler_seed),
@@ -628,6 +687,10 @@ def validate_batch(request: BatchRequest) -> str:
         validate_topology(config.topology, n, **config.topology_kwargs())
 
     attempt(check_topology)
+    if config.scenario:
+        from repro.scenario.runtime import validate_scenario
+
+        attempt(lambda: validate_scenario(config.scenario, spec, n, config))
     family = request.family or spec.default_family
     attempt(lambda: spec.require_family(family))
     if request.trials is not None and request.trials < 1:

@@ -228,9 +228,43 @@ class ProtocolSpec:
         return build_topology(topology, n, **params)
 
     def build_configuration(self, family: str, protocol: Protocol, n: int,
-                            rng: RandomSource) -> Configuration:
+                            rng: RandomSource,
+                            population: Optional[Population] = None,
+                            ) -> Configuration:
+        """Draw the initial configuration from the named family.
+
+        Families historically received ``(protocol, n, rng)``; families whose
+        worst case is topology-dependent (e.g. ``packed-row``, which packs
+        leaders into one torus row) declare a fourth positional parameter and
+        receive the population too.  Dispatch is by declared arity — the same
+        rule as :meth:`build_stop_predicate` — so an error raised *inside* a
+        family is never misread as a signature mismatch.
+        """
         self.require_family(family)
-        return self.families[family](protocol, n, rng)
+        builder = self.families[family]
+        try:
+            parameters = [
+                parameter
+                for parameter in inspect.signature(builder).parameters.values()
+                if parameter.kind in (parameter.POSITIONAL_ONLY,
+                                      parameter.POSITIONAL_OR_KEYWORD,
+                                      parameter.VAR_POSITIONAL)
+            ]
+            wants_population = (
+                len(parameters) >= 4
+                or any(parameter.kind is parameter.VAR_POSITIONAL
+                       for parameter in parameters)
+            )
+        except (TypeError, ValueError):  # builtins/partials without signatures
+            wants_population = False
+        if wants_population:
+            if population is None:
+                raise ValueError(
+                    f"family {family!r} of protocol {self.name!r} needs the "
+                    "population; pass population= to build_configuration"
+                )
+            return builder(protocol, n, rng, population)
+        return builder(protocol, n, rng)
 
     def build_stop_predicate(self, protocol: Protocol,
                              population: Population) -> Callable[[Sequence], bool]:
@@ -312,6 +346,7 @@ class ProtocolSpec:
                          initial: Configuration, rng: RandomSource,
                          engine: str = "auto",
                          encoder: "StateEncoder | None" = None,
+                         scheduler=None,
                          ) -> "Simulation | BatchedSimulation | NumpySimulation":
         """Build the simulation for one trial on the resolved engine.
 
@@ -327,9 +362,26 @@ class ProtocolSpec:
         engine factories consume exactly one ``rng.randint`` in the same
         position, so the random streams — and therefore every trial result —
         are bit-identical whichever engine ends up running.
+
+        ``scheduler`` (an explicit :class:`~repro.core.scheduler.Scheduler`,
+        e.g. the scenario runtime's biased-arc scheduler) replaces the
+        engines' internal uniformly random drawing.  In scheduler mode *no*
+        engine consumes a draw from ``rng`` — consistently across tiers, so
+        cross-engine identity holds here too — and specs with custom
+        simulation factories are rejected: an oracle simulation constructs
+        its own scheduler, so the request could not be honored.
         """
         mode = self.resolve_engine(engine)
+        if scheduler is not None and (
+                self.simulation_factory is not default_simulation_factory):
+            raise ValueError(
+                f"protocol {self.name!r} runs a custom simulation that owns "
+                "its scheduler; an explicit scheduler does not apply"
+            )
         if mode == "step":
+            if scheduler is not None:
+                return Simulation(protocol, population, initial,
+                                  scheduler=scheduler)
             return self.simulation_factory(protocol, population, initial, rng)
         if encoder is not None and not encoder.covers(initial.states()):
             encoder = None  # shared table misses a state: recompile per trial
@@ -337,13 +389,22 @@ class ProtocolSpec:
             if encoder is None:
                 encoder = StateEncoder.try_build(protocol, initial.states())
             if encoder is None:
+                if scheduler is not None:
+                    return Simulation(protocol, population, initial,
+                                      scheduler=scheduler)
                 return self.simulation_factory(protocol, population, initial, rng)
             mode = "numpy" if numpy_available() else "batched"
         elif encoder is None:
             encoder = StateEncoder.build(protocol, initial.states())
         if mode == "numpy":
+            if scheduler is not None:
+                return NumpySimulation(protocol, population, initial,
+                                       scheduler=scheduler, encoder=encoder)
             return numpy_simulation_factory(protocol, population, initial, rng,
                                             encoder=encoder)
+        if scheduler is not None:
+            return BatchedSimulation(protocol, population, initial,
+                                     scheduler=scheduler, encoder=encoder)
         return batched_simulation_factory(protocol, population, initial, rng,
                                           encoder=encoder)
 
@@ -502,6 +563,15 @@ def _random_family(protocol: Protocol, n: int, rng: RandomSource) -> Configurati
     return random_configuration(protocol, n, rng)
 
 
+def _packed_row_family(protocol: Protocol, n: int, rng: RandomSource,
+                       population: Population) -> Configuration:
+    """Topology-aware worst case: all leaders packed into one torus row
+    (a contiguous leader run on non-grid populations)."""
+    from repro.adversary.initial_configs import packed_leader_row
+
+    return packed_leader_row(protocol, n, rng, population)
+
+
 def _stable_predicate(protocol):
     return protocol.is_stable
 
@@ -546,7 +616,8 @@ def _angluin_spec(k: int, name: str) -> ProtocolSpec:
         name=name,
         summary=f"[5] Angluin et al.: constant-state SS-LE when k={k} does not divide n",
         factory=lambda n, config: AngluinModKProtocol(k),
-        families={"adversarial": _random_family, "random": _random_family},
+        families={"adversarial": _random_family, "random": _random_family,
+                  "packed-row": _packed_row_family},
         stop_predicate=_angluin_predicate,
         supports=lambda n: n >= 2 and n % k != 0,
         supported_note=f"population sizes n >= 2 with n not divisible by k={k}",
@@ -635,7 +706,8 @@ def _register_builtin_specs() -> None:
         name="fischer-jiang",
         summary="[15] Fischer-Jiang: constant-state SS-LE with the eventual leader-detector oracle",
         factory=_fischer_jiang_factory,
-        families={"adversarial": _random_family, "random": _random_family},
+        families={"adversarial": _random_family, "random": _random_family,
+                  "packed-row": _packed_row_family},
         stop_predicate=_stable_predicate,
         simulation_factory=_oracle_simulation,
         # The oracle inspects the global configuration every step — semantics

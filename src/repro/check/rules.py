@@ -293,9 +293,9 @@ RULES: Tuple[Rule, ...] = (
     Rule(
         code="REP004",
         summary="no wall clock in result-identity paths "
-                "(executor / engines / store)",
+                "(executor / engines / scenario runtime / store)",
         applies_to=_in_packages("repro.api.executor", "repro.core",
-                                "repro.store"),
+                                "repro.scenario", "repro.store"),
         visit=_visit_rep004,
     ),
     Rule(

@@ -56,6 +56,7 @@ from repro.api.config import DEFAULT_TOPOLOGY, freeze_topology_params
 from repro.core.errors import StateSpaceError, TopologyError
 from repro.core.fast_simulator import ENGINES
 from repro.experiments.reporting import format_table, jsonable
+from repro.scenario.spec import parse_scenario, scenario_names
 from repro.topology.registry import parse_topology, topology_names, validate_topology
 
 #: Handler result: (rendered text, JSON-ready payload).
@@ -102,6 +103,14 @@ def _non_negative_float(raw: str) -> float:
     if not (value >= 0):  # also rejects NaN
         raise argparse.ArgumentTypeError(f"expected a number >= 0, got {raw}")
     return value
+
+
+def _parse_scenario_arg(raw: str):
+    """``--scenario`` value → canonical phase tuple (usage error on defects)."""
+    try:
+        return parse_scenario(raw)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 # ---------------------------------------------------------------------- #
@@ -176,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("protocol", help="a protocol spec name from `repro-ssle list`")
     run.add_argument("--family", default=None,
                      help="initial-configuration family (default: the spec's default)")
+    run.add_argument("--scenario", type=_parse_scenario_arg, default=None,
+                     metavar="NAME[:K=V,...]",
+                     help="phased scenario from the scenario catalog, with "
+                          "optional integer parameters, e.g. "
+                          "'corrupt-recover:k=3', 'churn-recover:leave=1,join=2', "
+                          "'bias-recover:weight=4'; each trial then runs every "
+                          "phase (perturb, then re-converge) and reports a "
+                          "per-phase breakdown (default: none — one plain "
+                          f"convergence; registered: {', '.join(scenario_names())})")
     run.add_argument("--workers", type=_positive_int, default=1,
                      help="processes for parallel trials (default: 1 = serial)")
 
@@ -243,7 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list: one row per stored record; info: the full "
                             "record for a digest (or a store summary without "
                             "one); clear: delete records (all, a digest "
-                            "prefix, or only those --older-than DAYS)")
+                            "prefix, only those --older-than DAYS, or the "
+                            "oldest beyond a --max-bytes budget)")
     cache.add_argument("digest", nargs="?", default=None,
                        help="record digest, or unambiguous prefix (info: "
                             "required record; clear: restrict deletion)")
@@ -255,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="clear only: delete records whose file is at "
                             "least DAYS days old (fractions allowed), "
                             "keeping everything newer")
+    cache.add_argument("--max-bytes", type=_non_negative_int, default=None,
+                       metavar="N",
+                       help="clear only: instead of deleting every matching "
+                            "record, evict the oldest (by last write-back) "
+                            "until the matching records total at most N bytes")
 
     serve = subparsers.add_parser(
         "serve", parents=[storage, fmt],
@@ -338,6 +362,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         topology=topology,
         topology_params=freeze_topology_params(topology_params),
         check_backoff=args.check_backoff,
+        # Only `run` has --scenario; the other sweep commands drive bespoke
+        # experiment harnesses where a phased scenario has no meaning.
+        scenario=getattr(args, "scenario", None) or (),
     )
 
 
@@ -389,6 +416,16 @@ def _render_run_result(result) -> str:
                else "mean steps = n/a (no trial converged)")
     if result.failures:
         summary += f", failures = {result.failures}/{result.trial_count}"
+    if any(trial.phases for trial in result.trials):
+        phases = format_table(
+            headers=["trial", "phase", "perturbation", "steps", "converged", "n"],
+            rows=[(trial.trial, phase.phase, phase.perturbation or "-",
+                   phase.steps, phase.converged, phase.population_size)
+                  for trial in result.trials for phase in trial.phases],
+            title="per-phase breakdown",
+        )
+        return (f"{table}\n{phases}\n{summary}, "
+                f"all converged = {result.all_converged}")
     return f"{table}\n{summary}, all converged = {result.all_converged}"
 
 
@@ -414,6 +451,7 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
     config = _config_from_args(args)
     if not spec.is_simulated:
         for flag, value, default in (("--family", args.family, None),
+                                     ("--scenario", args.scenario, None),
                                      ("--workers", args.workers, 1),
                                      ("--engine", args.engine, "auto"),
                                      ("--topology", args.topology, DEFAULT_TOPOLOGY),
@@ -444,6 +482,13 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
                 # factorization, regular-graph parity, ...): turns mid-sweep
                 # construction failures into a pre-run usage error.
                 validate_topology(config.topology, n, **config.topology_kwargs())
+                if config.scenario:
+                    # Same promise for scenarios: every phase's perturbation
+                    # parameters and churn-resized population must be
+                    # feasible at this size before any trial runs.
+                    from repro.scenario.runtime import validate_scenario
+
+                    validate_scenario(config.scenario, spec, n, config)
             except ValueError as error:
                 raise CommandError(str(error)) from None
     store = _store_from_args(args) if spec.is_simulated else None
@@ -470,6 +515,8 @@ def _cmd_run(args: argparse.Namespace) -> CommandOutput:
         )
         if args.family:
             builder.from_family(args.family)
+        if config.scenario:
+            builder.scenario(config.scenario)
         if args.workers > 1:
             builder.parallel(args.workers)
         result = builder.run()
@@ -633,6 +680,8 @@ def _cmd_cache(args: argparse.Namespace) -> CommandOutput:
         )
     if args.older_than is not None and args.action != "clear":
         raise CommandError("--older-than only applies to `cache clear`")
+    if args.max_bytes is not None and args.action != "clear":
+        raise CommandError("--max-bytes only applies to `cache clear`")
     if args.action == "list":
         rows = store.records()
         text = format_table(
@@ -673,13 +722,17 @@ def _cmd_cache(args: argparse.Namespace) -> CommandOutput:
         lines.append(f"  trials: {len(trials)}")
         return "\n".join(lines), {"command": "cache", "action": "info",
                                   "record": record}
-    removed = store.clear(args.digest or "", older_than_days=args.older_than)
+    removed = store.clear(args.digest or "", older_than_days=args.older_than,
+                          max_bytes=args.max_bytes)
     scope = (f" older than {args.older_than:g} day(s)"
              if args.older_than is not None else "")
+    if args.max_bytes is not None:
+        scope += f" over the {args.max_bytes} byte budget (oldest first)"
     text = f"removed {removed} record(s){scope} from {store.root}"
     return text, {"command": "cache", "action": "clear",
                   "root": str(store.root), "removed": removed,
-                  "older_than_days": args.older_than}
+                  "older_than_days": args.older_than,
+                  "max_bytes": args.max_bytes}
 
 
 def _cmd_serve(args: argparse.Namespace) -> CommandOutput:

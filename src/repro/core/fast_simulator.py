@@ -231,6 +231,33 @@ class BatchedSimulation(Generic[StateT]):
         )
 
     # ------------------------------------------------------------------ #
+    # State capture (the engine snapshot/restore contract)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Capture the full execution state (same contract as ``Simulation``)."""
+        return {
+            "codes": list(self._codes),
+            "stream": (self._rng.getstate() if self._rng is not None
+                       else self._scheduler.getstate()),
+            "total_steps": self._total_steps,
+            "effective_steps": self._effective_steps,
+            "interactions": list(self._interactions),
+            "leaders": self._leaders,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rewind to a state captured by :meth:`snapshot` (same simulation)."""
+        self._codes = list(snapshot["codes"])
+        if self._rng is not None:
+            self._rng.setstate(snapshot["stream"])
+        else:
+            self._scheduler.setstate(snapshot["stream"])
+        self._total_steps = snapshot["total_steps"]
+        self._effective_steps = snapshot["effective_steps"]
+        self._interactions = list(snapshot["interactions"])
+        self._leaders = snapshot["leaders"]
+
+    # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
     def _advance(self, count: int) -> None:
@@ -494,6 +521,35 @@ class _BlockDraws:
         self._cursor = cursor + count
         return self._accepted[cursor:cursor + count]
 
+    def getstate(self) -> tuple:
+        """Snapshot of the draw stream: source state plus buffered filter.
+
+        The buffer/acceptance arrays are only ever *reassigned* (never
+        mutated in place) by :meth:`_refill`/:meth:`_refilter`, but copies
+        are taken anyway so a held snapshot can never alias live arrays.
+        """
+        return (
+            self._source.getstate(),
+            self._buffer.copy(),
+            self._filter_upper,
+            self._filter_words_per_draw,
+            self._accepted.copy(),
+            self._accepted_word.copy(),
+            self._cursor,
+        )
+
+    def setstate(self, state: tuple) -> None:
+        """Rewind to a stream position captured by :meth:`getstate`."""
+        (source_state, buffer, upper, words_per_draw,
+         accepted, accepted_word, cursor) = state
+        self._source.setstate(source_state)
+        self._buffer = buffer.copy()
+        self._filter_upper = upper
+        self._filter_words_per_draw = words_per_draw
+        self._accepted = accepted.copy()
+        self._accepted_word = accepted_word.copy()
+        self._cursor = cursor
+
 
 class NumpySimulation(Generic[StateT]):
     """The vectorized third engine tier: block replay over ``numpy`` arrays.
@@ -641,6 +697,38 @@ class NumpySimulation(Generic[StateT]):
             "the numpy engine does not support per-interaction observers; "
             "use the step engine (Simulation) for traced runs"
         )
+
+    # ------------------------------------------------------------------ #
+    # State capture (the engine snapshot/restore contract)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Capture the full execution state (same contract as ``Simulation``).
+
+        In rng mode the stream snapshot includes :class:`_BlockDraws`'
+        buffered-but-unconsumed generator words, so a restore resumes the
+        ``randrange`` stream at the exact draw the capture was taken at.
+        """
+        return {
+            "codes": self._codes.copy(),
+            "stream": (self._draws.getstate() if self._draws is not None
+                       else self._scheduler.getstate()),
+            "total_steps": self._total_steps,
+            "effective_steps": self._effective_steps,
+            "interactions": self._interactions.copy(),
+            "leaders": self._leaders,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rewind to a state captured by :meth:`snapshot` (same simulation)."""
+        self._codes = snapshot["codes"].copy()
+        if self._draws is not None:
+            self._draws.setstate(snapshot["stream"])
+        else:
+            self._scheduler.setstate(snapshot["stream"])
+        self._total_steps = snapshot["total_steps"]
+        self._effective_steps = snapshot["effective_steps"]
+        self._interactions = snapshot["interactions"].copy()
+        self._leaders = snapshot["leaders"]
 
     # ------------------------------------------------------------------ #
     # Execution

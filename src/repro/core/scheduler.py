@@ -37,6 +37,24 @@ class Scheduler(abc.ABC):
     def reset(self) -> None:
         """Return the scheduler to its initial state (optional)."""
 
+    def getstate(self) -> object:
+        """Opaque snapshot of the scheduler's stream position.
+
+        Together with :meth:`setstate` this is the scheduler half of the
+        engine ``snapshot()/restore()`` contract: restoring a captured state
+        must make the subsequent :meth:`next_arc` stream bit-identical to the
+        one that would have followed the capture.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state capture"
+        )
+
+    def setstate(self, state: object) -> None:
+        """Rewind the scheduler to a state captured by :meth:`getstate`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state capture"
+        )
+
 
 class UniformRandomScheduler(Scheduler):
     """The uniformly random scheduler of the population-protocol model.
@@ -70,6 +88,12 @@ class UniformRandomScheduler(Scheduler):
         """Rewind the random stream so a replay reproduces the same arcs."""
         self._rng.setstate(self._initial_rng_state)
 
+    def getstate(self) -> object:
+        return self._rng.getstate()
+
+    def setstate(self, state: object) -> None:
+        self._rng.setstate(state)
+
     @property
     def rng(self) -> RandomSource:
         """The underlying random source (exposed for seeding sub-streams)."""
@@ -94,6 +118,12 @@ class SequenceScheduler(Scheduler):
 
     def reset(self) -> None:
         self._cursor = 0
+
+    def getstate(self) -> object:
+        return self._cursor
+
+    def setstate(self, state: object) -> None:
+        self._cursor = int(state)  # type: ignore[call-overload]
 
     @property
     def remaining(self) -> int:
@@ -126,6 +156,79 @@ class InterleavedScheduler(Scheduler):
         """
         self._prefix.reset()
         self._random.reset()
+
+    def getstate(self) -> object:
+        return (self._prefix.getstate(), self._random.getstate())
+
+    def setstate(self, state: object) -> None:
+        prefix_state, random_state = state  # type: ignore[misc]
+        self._prefix.setstate(prefix_state)
+        self._random.setstate(random_state)
+
+
+class BiasedArcScheduler(Scheduler):
+    """A weighted-arc scheduler: a "hot" prefix of arcs is drawn more often.
+
+    Models scheduler bias as an adversarial perturbation: the first
+    ``hot_arcs`` arcs (in the population's canonical arc order) are each
+    ``weight`` times as likely as any other arc.  ``weight=1`` degenerates to
+    the uniformly random scheduler's distribution (over a materialized arc
+    list).
+
+    One ``randrange(total)`` draw per step over the *weighted* index space
+    ``total = num_arcs + (weight - 1) * hot_arcs``, mapped back to an arc
+    index arithmetically — fully deterministic given the seed, so all three
+    engines replay the identical arc stream through scheduler mode.
+    """
+
+    def __init__(self, population: Population, weight: int,
+                 hot_arcs: Optional[int] = None,
+                 rng: "RandomSource | int | None" = None) -> None:
+        if weight < 1:
+            raise ValueError(f"bias weight must be >= 1, got {weight}")
+        num_arcs = population.num_arcs
+        if hot_arcs is None:
+            hot_arcs = max(1, num_arcs // 4)
+        if not 1 <= hot_arcs <= num_arcs:
+            raise ValueError(
+                f"hot_arcs must be in [1, {num_arcs}], got {hot_arcs}"
+            )
+        self._population = population
+        self._rng = ensure_source(rng)
+        self._num_arcs = num_arcs
+        self._weight = weight
+        self._hot = hot_arcs
+        self._total = num_arcs + (weight - 1) * hot_arcs
+        self._arcs = population.arcs if population.has_materialized_arcs else None
+        self._initial_rng_state = self._rng.getstate()
+
+    def _next_index(self) -> int:
+        draw = self._rng.randrange(self._total)
+        hot_span = self._hot * self._weight
+        if draw < hot_span:
+            return draw // self._weight
+        return self._hot + (draw - hot_span)
+
+    def next_arc(self) -> Arc:
+        index = self._next_index()
+        arcs = self._arcs
+        if arcs is not None:
+            return arcs[index]
+        return self._population.arc_by_index(index)
+
+    def reset(self) -> None:
+        self._rng.setstate(self._initial_rng_state)
+
+    def getstate(self) -> object:
+        return self._rng.getstate()
+
+    def setstate(self, state: object) -> None:
+        self._rng.setstate(state)
+
+    @property
+    def rng(self) -> RandomSource:
+        """The underlying random source (exposed for seeding sub-streams)."""
+        return self._rng
 
 
 # ---------------------------------------------------------------------- #

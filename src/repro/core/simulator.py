@@ -12,6 +12,7 @@ configuration?") are evaluated through :meth:`Simulation.run_until`.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, Generic, List, Optional, Sequence, TypeVar
 
@@ -154,6 +155,43 @@ class Simulation(Generic[StateT]):
     def add_observer(self, observer: InteractionObserver) -> None:
         """Register a callback invoked after every interaction."""
         self._observers.append(observer)
+
+    # ------------------------------------------------------------------ #
+    # State capture (the engine snapshot/restore contract)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Capture the full execution state as an opaque mapping.
+
+        The snapshot covers agent states, the scheduler's stream position,
+        and every counter, so ``snapshot -> restore -> run`` is bit-identical
+        to an uninterrupted run.  Together with the fact that repeated
+        :meth:`run_until` calls resume where the previous segment stopped,
+        this is what lets phased scenarios replay any segment on any engine.
+
+        States are deep-copied in both directions: protocols with mutable
+        state objects (``PPLState`` and friends) update them in place, so a
+        shallow capture would be silently corrupted by further execution.
+        """
+        metrics = self._metrics
+        return {
+            "states": copy.deepcopy(self._states),
+            "scheduler": self._scheduler.getstate(),
+            "total_steps": self._total_steps,
+            "metrics": (metrics.steps, dict(metrics.interactions_per_agent),
+                        metrics.effective_steps),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rewind to a state captured by :meth:`snapshot` (same simulation)."""
+        self._states = copy.deepcopy(snapshot["states"])
+        self._scheduler.setstate(snapshot["scheduler"])
+        self._total_steps = snapshot["total_steps"]
+        steps, interactions, effective = snapshot["metrics"]
+        self._metrics = StepMetrics(
+            steps=steps,
+            interactions_per_agent=dict(interactions),
+            effective_steps=effective,
+        )
 
     # ------------------------------------------------------------------ #
     # Execution

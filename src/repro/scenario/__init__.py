@@ -1,0 +1,47 @@
+"""Phased scenarios: declarative perturb-and-re-converge experiments.
+
+The declarative surface (:mod:`repro.scenario.spec`) and the perturbation
+registry (:mod:`repro.scenario.perturbations`) are re-exported here; the
+runtime (:mod:`repro.scenario.runtime`) is deliberately *not* — it imports
+the executor layer, which imports :mod:`repro.api.config`, which imports
+this package, so pulling it in at import time would close a cycle.  The
+executor loads it lazily per trial instead.
+"""
+
+from repro.scenario.perturbations import (
+    PerturbationOutcome,
+    PerturbationSpec,
+    apply_perturbation,
+    perturbation_names,
+    register_perturbation,
+    require_perturbation,
+)
+from repro.scenario.spec import (
+    DEGENERATE_PHASE,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    normalize_scenario,
+    parse_scenario,
+    scenario_from_json,
+    scenario_names,
+    scenario_to_json,
+)
+
+__all__ = [
+    "DEGENERATE_PHASE",
+    "PerturbationOutcome",
+    "PerturbationSpec",
+    "PhaseSpec",
+    "ScenarioError",
+    "ScenarioSpec",
+    "apply_perturbation",
+    "normalize_scenario",
+    "parse_scenario",
+    "perturbation_names",
+    "register_perturbation",
+    "require_perturbation",
+    "scenario_from_json",
+    "scenario_names",
+    "scenario_to_json",
+]

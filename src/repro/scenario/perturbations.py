@@ -1,0 +1,255 @@
+"""The perturbation registry: named transient faults applied between phases.
+
+A perturbation transforms the agent-state list a phase ended with into the
+state list the next phase starts from — and may additionally resize the
+population (churn) or replace the scheduler (bias).  Each perturbation is a
+pure function of ``(protocol, states, rng, params)``: all randomness flows
+through the phase's derived :class:`~repro.core.rng.RandomSource`, with
+per-index child streams (``rng.spawn(f"agent-{i}")``) so the fault injected
+at agent ``i`` depends only on the phase seed and ``i`` — never on
+population size, engine, or iteration order.
+
+Built-ins:
+
+``corrupt-states`` (``k``)
+    transient faults: ``k`` distinct agents get fresh
+    ``protocol.random_state`` draws (the paper's recovery-from-any-
+    configuration claim, exercised mid-run);
+``churn`` (``leave``, ``join``)
+    agent departure and arrival: ``leave`` agents are spliced out, ``join``
+    fresh agents are appended; the runtime re-wires the population through
+    the topology registry at the new size;
+``bias`` (``weight``, ``hot``)
+    scheduler bias: subsequent phases draw arcs from a
+    :class:`~repro.core.scheduler.BiasedArcScheduler` where the first
+    ``hot`` arcs are ``weight`` times as likely.
+
+Registering a new perturbation is one :func:`register_perturbation` call;
+the scenario runtime, builder, CLI, and service pick it up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.core.protocol import Protocol
+from repro.core.rng import RandomSource
+from repro.core.scheduler import BiasedArcScheduler, Scheduler
+from repro.scenario.spec import ScenarioError
+from repro.topology.graph import Population
+
+
+@dataclass(frozen=True)
+class PerturbationOutcome:
+    """What a perturbation did: the next phase's starting point."""
+
+    #: Agent states the next phase starts from (length may differ on churn).
+    states: List
+    #: Builds the next phase's scheduler over the (possibly re-wired)
+    #: population; ``None`` keeps the uniformly random scheduler.
+    scheduler_factory: Optional[Callable[[Population, RandomSource], Scheduler]] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+
+#: apply(protocol, states, rng, **params) -> PerturbationOutcome
+PerturbationFn = Callable[..., PerturbationOutcome]
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """One named, parameterized perturbation."""
+
+    name: str
+    summary: str
+    apply: PerturbationFn
+    #: Accepted integer parameters mapped to one-line descriptions.
+    params: Mapping[str, str] = field(default_factory=dict)
+    #: Optional eager validator ``(n, params) -> None`` raising
+    #: :class:`ScenarioError` exactly when ``apply`` would, without running.
+    validator: Optional[Callable[..., None]] = None
+
+    def require_params(self, params: Mapping[str, int]) -> None:
+        unknown = sorted(set(params) - set(self.params))
+        if unknown:
+            accepted = ", ".join(sorted(self.params)) or "<none>"
+            raise ScenarioError(
+                f"perturbation {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; accepted: {accepted}"
+            )
+
+    def validate(self, n: int, params: Mapping[str, int]) -> None:
+        """Raise exactly when applying would fail, without applying."""
+        self.require_params(params)
+        if self.validator is not None:
+            self.validator(n, **dict(params))
+
+
+def _choose_indices(n: int, count: int, rng: RandomSource) -> List[int]:
+    """``count`` distinct agent indices, via a partial Fisher-Yates draw.
+
+    One ``randrange`` per chosen index regardless of ``n``, so the draw cost
+    never scales with population size.
+    """
+    pool = list(range(n))
+    chosen: List[int] = []
+    for position in range(count):
+        swap = position + rng.randrange(n - position)
+        pool[position], pool[swap] = pool[swap], pool[position]
+        chosen.append(pool[position])
+    return chosen
+
+
+# ---------------------------------------------------------------------- #
+# corrupt-states
+# ---------------------------------------------------------------------- #
+def _validate_corrupt(n: int, k: int = 1) -> None:
+    if not 1 <= k <= n:
+        raise ScenarioError(
+            f"corrupt-states needs 1 <= k <= n; got k={k} with n={n}"
+        )
+
+
+def corrupt_states(protocol: Protocol, states: List, rng: RandomSource,
+                   k: int = 1) -> PerturbationOutcome:
+    """Overwrite ``k`` distinct agents with fresh random states."""
+    _validate_corrupt(len(states), k)
+    mutated = list(states)
+    targets = _choose_indices(len(states), k, rng.spawn("indices"))
+    for index in sorted(targets):
+        mutated[index] = protocol.random_state(rng.spawn(f"agent-{index}"))
+    return PerturbationOutcome(states=mutated)
+
+
+# ---------------------------------------------------------------------- #
+# churn
+# ---------------------------------------------------------------------- #
+def _validate_churn(n: int, leave: int = 1, join: int = 1) -> None:
+    if leave < 0 or join < 0:
+        raise ScenarioError(
+            f"churn needs leave >= 0 and join >= 0; got leave={leave}, "
+            f"join={join}"
+        )
+    if leave == 0 and join == 0:
+        raise ScenarioError("churn needs leave > 0 or join > 0")
+    if leave > n:
+        raise ScenarioError(f"churn cannot remove {leave} of {n} agents")
+    if n - leave + join < 2:
+        raise ScenarioError(
+            f"churn would shrink the population to {n - leave + join} "
+            "agents; at least 2 are required"
+        )
+
+
+def churn(protocol: Protocol, states: List, rng: RandomSource,
+          leave: int = 1, join: int = 1) -> PerturbationOutcome:
+    """Splice out ``leave`` agents and append ``join`` fresh ones.
+
+    Survivors keep their states (and their relative order, so the ring
+    splice is literal: neighbours of a departed agent become adjacent); new
+    agents arrive in arbitrary states at the tail.  The runtime re-builds
+    the population from the topology registry at the new size.
+    """
+    n = len(states)
+    _validate_churn(n, leave, join)
+    leaving = set(_choose_indices(n, leave, rng.spawn("leave")))
+    survivors = [state for index, state in enumerate(states)
+                 if index not in leaving]
+    arrivals = [protocol.random_state(rng.spawn(f"join-{j}"))
+                for j in range(join)]
+    return PerturbationOutcome(states=survivors + arrivals)
+
+
+# ---------------------------------------------------------------------- #
+# bias
+# ---------------------------------------------------------------------- #
+def _validate_bias(n: int, weight: int = 4, hot: int = 0) -> None:
+    if weight < 1:
+        raise ScenarioError(f"bias needs weight >= 1, got {weight}")
+    if hot < 0:
+        raise ScenarioError(f"bias needs hot >= 0 (0 = auto), got {hot}")
+
+
+def bias(protocol: Protocol, states: List, rng: RandomSource,
+         weight: int = 4, hot: int = 0) -> PerturbationOutcome:
+    """Leave states untouched; weight a hot prefix of arcs in the scheduler.
+
+    ``hot=0`` lets :class:`~repro.core.scheduler.BiasedArcScheduler` pick
+    its default (a quarter of the arcs).
+    """
+    _validate_bias(len(states), weight, hot)
+    hot_arcs = hot if hot > 0 else None
+
+    def factory(population: Population, source: RandomSource) -> Scheduler:
+        return BiasedArcScheduler(population, weight, hot_arcs, source)
+
+    return PerturbationOutcome(states=list(states), scheduler_factory=factory)
+
+
+# ---------------------------------------------------------------------- #
+# The registry
+# ---------------------------------------------------------------------- #
+_PERTURBATIONS: Dict[str, PerturbationSpec] = {}
+
+
+def register_perturbation(spec: PerturbationSpec,
+                          replace: bool = False) -> PerturbationSpec:
+    """Add a perturbation spec; ``replace=False`` rejects duplicates."""
+    if not replace and spec.name in _PERTURBATIONS:
+        raise ValueError(f"perturbation {spec.name!r} is already registered")
+    _PERTURBATIONS[spec.name] = spec
+    return spec
+
+
+def perturbation_names() -> List[str]:
+    """Registered perturbation names, sorted."""
+    return sorted(_PERTURBATIONS)
+
+
+def require_perturbation(name: str) -> PerturbationSpec:
+    """Look up a perturbation, listing the known names on failure."""
+    try:
+        return _PERTURBATIONS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown perturbation {name!r}; "
+            f"registered: {', '.join(perturbation_names())}"
+        ) from None
+
+
+def apply_perturbation(name: str, protocol: Protocol, states: List,
+                       rng: RandomSource,
+                       params: Mapping[str, int] = ()) -> PerturbationOutcome:
+    """Apply the named perturbation (validating its parameters)."""
+    spec = require_perturbation(name)
+    kwargs = dict(params)
+    spec.require_params(kwargs)
+    return spec.apply(protocol, states, rng, **kwargs)
+
+
+register_perturbation(PerturbationSpec(
+    name="corrupt-states",
+    summary="overwrite k agents with fresh random states (transient faults)",
+    apply=corrupt_states,
+    params={"k": "number of agents to corrupt (1 <= k <= n)"},
+    validator=_validate_corrupt,
+))
+register_perturbation(PerturbationSpec(
+    name="churn",
+    summary="splice out `leave` agents and append `join` fresh ones",
+    apply=churn,
+    params={"leave": "agents to remove (>= 0)",
+            "join": "agents to add (>= 0)"},
+    validator=_validate_churn,
+))
+register_perturbation(PerturbationSpec(
+    name="bias",
+    summary="weight a hot prefix of arcs in the scheduler",
+    apply=bias,
+    params={"weight": "relative weight of hot arcs (>= 1)",
+            "hot": "number of hot arcs (0 = one quarter of the arcs)"},
+    validator=_validate_bias,
+))

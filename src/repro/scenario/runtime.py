@@ -1,0 +1,215 @@
+"""The phased scenario runtime: perturb, re-converge, repeat.
+
+:func:`execute_scenario` runs one trial's scenario — an ordered list of
+phases — on whatever engine the config selects, producing a per-phase
+step/convergence breakdown.  The executor calls it for any task whose config
+carries a non-empty canonical scenario; the empty scenario (today's single
+convergence) never reaches this module, so the legacy execution path — and
+its store digests — stay byte-for-byte untouched.
+
+Determinism contract
+--------------------
+Phase 0 consumes the task's ``configuration_seed``/``scheduler_seed``
+streams exactly like a legacy single-run trial.  Every later phase ``i``
+derives fresh, position-independent streams by pure ``spawn``:
+
+* scheduler: ``RandomSource(scheduler_seed).spawn(f"phase-{i}")``,
+* perturbation: ``RandomSource(configuration_seed).spawn(f"phase-{i}-perturbation")``,
+
+so a phase's randomness depends only on the trial seeds and the phase
+index — never on how many draws an earlier phase happened to consume.  Each
+phase *rebuilds* its simulation from the previous phase's final states
+(rather than continuing one stream across the boundary): the engines buffer
+generator words differently mid-run, and churn changes the arc space, so a
+shared stream could not stay bit-identical across tiers.  Rebuilding from a
+derived seed makes every phase exactly one engine-factory construction —
+each factory consumes one ``rng.randint`` in the same position — which is
+what keeps step == batched == numpy per phase, and serial == parallel for
+free (the seeds are derived before any fan-out).
+
+``run_until`` is the segment primitive: within a phase the engine's counters
+and stream simply continue, and a repeated call resumes where the previous
+segment stopped (the ``snapshot()/restore()`` contract captures exactly this
+resumable position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.api.executor import PhaseResult, TrialTask
+from repro.core.configuration import Configuration
+from repro.core.rng import RandomSource
+from repro.scenario.perturbations import apply_perturbation, require_perturbation
+from repro.scenario.spec import CanonicalScenario, PhaseSpec, ScenarioError, ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What a scenario execution produced (wall time is the caller's)."""
+
+    phases: Tuple[PhaseResult, ...]
+    steps: int
+    converged: bool
+    engine: str
+    protocol_name: str
+
+
+def _engine_name(simulation) -> str:
+    from repro.core.fast_simulator import BatchedSimulation, NumpySimulation
+
+    if isinstance(simulation, NumpySimulation):
+        return "numpy"
+    if isinstance(simulation, BatchedSimulation):
+        return "batched"
+    return "step"
+
+
+def _phase_rngs(task: TrialTask, index: int) -> Tuple[RandomSource, RandomSource]:
+    """The (scheduler, perturbation) streams for phase ``index``.
+
+    Phase 0's scheduler stream is the legacy one — ``RandomSource(seed)``
+    with no spawn — so a scenario whose first phase is the plain converge
+    phase replays a legacy trial draw-for-draw.
+    """
+    if index == 0:
+        scheduler = RandomSource(task.scheduler_seed)
+    else:
+        scheduler = RandomSource(task.scheduler_seed).spawn(f"phase-{index}")
+    perturbation = RandomSource(task.configuration_seed).spawn(
+        f"phase-{index}-perturbation")
+    return scheduler, perturbation
+
+
+def execute_scenario(spec, task: TrialTask, protocol, population,
+                     initial: Configuration, engine: Optional[str] = None,
+                     encoder=None) -> ScenarioOutcome:
+    """Run ``task``'s scenario phase by phase; see the module docstring.
+
+    ``spec`` is the resolved :class:`~repro.api.registry.ProtocolSpec`;
+    ``protocol``/``population``/``initial`` are the phase-0 ingredients the
+    executor already built (identically to a legacy trial), ``engine`` the
+    executor's possibly-downgraded engine selection (defaults to the
+    config's), and ``encoder`` the batch-shared compiled encoder, if any —
+    dropped automatically once churn changes the population size.
+    """
+    config = task.config
+    engine = config.engine if engine is None else engine
+    phases = ScenarioSpec.from_canonical(config.scenario).phases
+    states: List = initial.states()
+    scheduler_factory = None
+    phase_results: List[PhaseResult] = []
+    engines: List[str] = []
+    total_steps = 0
+    converged = True
+    for index, phase in enumerate(phases):
+        scheduler_rng, perturbation_rng = _phase_rngs(task, index)
+        if phase.perturbation:
+            outcome = apply_perturbation(
+                phase.perturbation, protocol, states, perturbation_rng,
+                phase.kwargs())
+            if outcome.scheduler_factory is not None:
+                # Bias persists: later phases keep drawing from the biased
+                # scheduler until another bias perturbation replaces it.
+                scheduler_factory = outcome.scheduler_factory
+            if outcome.size != len(states):
+                # Churn: re-wire the population (and rebuild the protocol,
+                # whose parameters may depend on n) at the new size; the
+                # batch-shared encoder compiled tables for the old protocol.
+                protocol = spec.build_protocol(outcome.size, config)
+                population = spec.build_population(outcome.size, config)
+                encoder = None
+            states = outcome.states
+
+        scheduler = None
+        if scheduler_factory is not None:
+            scheduler = scheduler_factory(population, scheduler_rng)
+        simulation = spec.build_simulation(
+            protocol, population, Configuration(list(states)), scheduler_rng,
+            engine=engine, encoder=encoder, scheduler=scheduler,
+        )
+        engines.append(_engine_name(simulation))
+
+        if phase.stop == "run":
+            simulation.run(phase.budget)
+            phase_steps, phase_converged = phase.budget, True
+        else:
+            predicate = spec.build_stop_predicate(protocol, population)
+            run = simulation.run_until(
+                predicate,
+                max_steps=phase.budget or config.max_steps,
+                check_interval=config.check_interval,
+                check_backoff=config.check_backoff,
+            )
+            phase_steps, phase_converged = run.steps, run.satisfied
+        states = simulation.states()
+        total_steps += phase_steps
+        converged = converged and phase_converged
+        phase_results.append(PhaseResult(
+            phase=index,
+            perturbation=phase.perturbation,
+            steps=phase_steps,
+            converged=phase_converged,
+            engine=engines[-1],
+            population_size=population.size,
+        ))
+        if not phase_converged:
+            # A missed budget leaves nothing meaningful to perturb; stop
+            # here and attribute the failure to this phase.
+            break
+    unique_engines = sorted(set(engines))
+    return ScenarioOutcome(
+        phases=tuple(phase_results),
+        steps=total_steps,
+        converged=converged,
+        engine=unique_engines[0] if len(unique_engines) == 1 else "mixed",
+        protocol_name=protocol.name,
+    )
+
+
+def validate_scenario(scenario: CanonicalScenario, spec, n: int,
+                      config) -> None:
+    """Raise exactly when :func:`execute_scenario` would fail, without running.
+
+    Checks every phase's perturbation name and parameters, tracks the
+    population size across churn (the topology must re-wire and the spec
+    must support each intermediate size), and rejects ``bias`` for specs
+    with custom simulation factories (an oracle simulation constructs its
+    own scheduler, so arc weighting could not be honored).
+    """
+    from repro.analysis.convergence import default_simulation_factory
+    from repro.topology.registry import validate_topology
+
+    size = n
+    for index, canonical in enumerate(scenario):
+        phase = PhaseSpec(perturbation=canonical[0], params=canonical[1],
+                          stop=canonical[2], budget=canonical[3])
+        if not phase.perturbation:
+            continue
+        perturbation = require_perturbation(phase.perturbation)
+        try:
+            perturbation.validate(size, phase.kwargs())
+        except ScenarioError as error:
+            raise ScenarioError(f"scenario phase {index}: {error}") from None
+        if (phase.perturbation == "bias"
+                and spec.simulation_factory is not default_simulation_factory):
+            raise ScenarioError(
+                f"scenario phase {index}: protocol {spec.name!r} runs a "
+                "custom simulation that owns its scheduler; the bias "
+                "perturbation does not apply"
+            )
+        if phase.perturbation == "churn":
+            params = phase.kwargs()
+            size = size - params.get("leave", 1) + params.get("join", 1)
+            try:
+                spec.require_supported(size)
+                spec.require_topology(config.topology)
+                validate_topology(config.topology, size,
+                                  **config.topology_kwargs())
+            except (ValueError, KeyError) as error:
+                message = error.args[0] if error.args else str(error)
+                raise ScenarioError(
+                    f"scenario phase {index}: churn resizes the population "
+                    f"to n={size}, which is infeasible: {message}"
+                ) from None

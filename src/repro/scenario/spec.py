@@ -1,0 +1,322 @@
+"""Declarative scenario specifications: ordered phases of perturb-and-measure.
+
+A *scenario* is the unit of experiment the phased runtime executes: an
+ordered list of phases, each ``(perturbation, stop mode, step budget)``.
+Phase 0 runs from the adversarial initial configuration; every later phase
+first applies its perturbation (a registered transient fault — see
+:mod:`repro.scenario.perturbations`) to the previous phase's final state and
+then runs until its stop condition.  Today's experiments are the degenerate
+one-phase scenario — ``converge`` from an adversarial start — which this
+module canonicalizes to the *empty* scenario, so legacy configs and their
+store digests are preserved bit-for-bit (see :func:`normalize_scenario`).
+
+Canonical wire form
+-------------------
+``ExperimentConfig.scenario`` carries a scenario as nested tuples so it can
+live in a frozen dataclass, feed ``blake2b`` store keys deterministically,
+and cross process boundaries without pickling custom classes::
+
+    ((perturbation, ((key, value), ...), stop, budget), ...)
+
+* ``perturbation`` — registry name, ``""`` for "no perturbation",
+* ``params`` — sorted ``(str, int)`` pairs,
+* ``stop`` — ``"converge"`` (run until the spec's stop predicate) or
+  ``"run"`` (run exactly ``budget`` steps),
+* ``budget`` — step budget; ``0`` means "inherit ``config.max_steps``"
+  (only valid for ``converge`` phases).
+
+:class:`PhaseSpec`/:class:`ScenarioSpec` are the ergonomic object forms;
+:func:`parse_scenario` understands the CLI spelling ``NAME[:K=V,...]`` over
+a small named catalog (``converge``, ``corrupt-recover``, ``churn-recover``,
+``bias-recover``); :func:`scenario_from_json`/:func:`scenario_to_json` are
+the service wire forms.
+
+This module is deliberately dependency-light (stdlib + core errors only) so
+:mod:`repro.api.config` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.errors import InvalidParameterError
+
+
+class ScenarioError(InvalidParameterError):
+    """A malformed or infeasible scenario specification."""
+
+
+#: The stop modes a phase may declare.
+STOP_MODES = ("converge", "run")
+
+#: Canonical form of "run the classic single-convergence experiment".
+DEGENERATE_PHASE: Tuple[str, Tuple, str, int] = ("", (), "converge", 0)
+
+#: Canonical phase tuple: (perturbation, ((key, value), ...), stop, budget).
+CanonicalPhase = Tuple[str, Tuple[Tuple[str, int], ...], str, int]
+CanonicalScenario = Tuple[CanonicalPhase, ...]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase: an optional perturbation, then a measured segment."""
+
+    #: Perturbation registry name; ``""`` applies no perturbation.
+    perturbation: str = ""
+    #: Perturbation parameters (integers, like topology params).
+    params: Tuple[Tuple[str, int], ...] = ()
+    #: ``"converge"`` runs until the spec's stop predicate, ``"run"`` runs
+    #: exactly ``budget`` steps (no predicate).
+    stop: str = "converge"
+    #: Step budget; 0 inherits ``config.max_steps`` (converge phases only).
+    budget: int = 0
+
+    def canonical(self) -> CanonicalPhase:
+        return (self.perturbation, tuple(sorted(self.params)), self.stop,
+                self.budget)
+
+    def kwargs(self) -> Dict[str, int]:
+        """The perturbation parameters as a keyword mapping."""
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """An ordered list of phases (the declarative scenario)."""
+
+    phases: Tuple[PhaseSpec, ...] = ()
+
+    def canonical(self) -> CanonicalScenario:
+        return normalize_scenario(tuple(p.canonical() for p in self.phases))
+
+    @staticmethod
+    def from_canonical(scenario: CanonicalScenario) -> "ScenarioSpec":
+        phases = scenario or (DEGENERATE_PHASE,)
+        return ScenarioSpec(tuple(
+            PhaseSpec(perturbation=name, params=params, stop=stop,
+                      budget=budget)
+            for name, params, stop, budget in phases
+        ))
+
+    def __len__(self) -> int:
+        return len(self.phases) or 1  # the empty scenario runs one phase
+
+
+def _normalize_params(raw: object, where: str) -> Tuple[Tuple[str, int], ...]:
+    if isinstance(raw, Mapping):
+        items = raw.items()
+    elif isinstance(raw, (tuple, list)):
+        items = list(raw)
+    else:
+        raise ScenarioError(
+            f"{where}: perturbation params must be a mapping or a sequence "
+            f"of (key, value) pairs, got {type(raw).__name__}"
+        )
+    pairs: List[Tuple[str, int]] = []
+    for item in items:
+        try:
+            key, value = item
+        except (TypeError, ValueError):
+            raise ScenarioError(
+                f"{where}: malformed perturbation parameter {item!r} "
+                "(expected a (key, value) pair)"
+            ) from None
+        if not isinstance(key, str) or not key:
+            raise ScenarioError(
+                f"{where}: perturbation parameter name must be a non-empty "
+                f"string, got {key!r}"
+            )
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ScenarioError(
+                f"{where}: perturbation parameter {key!r} must be an "
+                f"integer, got {value!r}"
+            )
+        pairs.append((key, value))
+    keys = [key for key, _ in pairs]
+    if len(set(keys)) != len(keys):
+        raise ScenarioError(f"{where}: duplicate perturbation parameters")
+    return tuple(sorted(pairs))
+
+
+def normalize_phase(raw: object, index: int = 0) -> CanonicalPhase:
+    """Coerce one phase (tuple / list / mapping / PhaseSpec) to canonical form."""
+    where = f"scenario phase {index}"
+    if isinstance(raw, PhaseSpec):
+        raw = raw.canonical()
+    if isinstance(raw, Mapping):
+        unknown = sorted(set(raw) - {"perturbation", "params", "stop", "budget"})
+        if unknown:
+            raise ScenarioError(
+                f"{where}: unknown phase key(s) {', '.join(unknown)}; "
+                "accepted: perturbation, params, stop, budget"
+            )
+        raw = (raw.get("perturbation", ""), raw.get("params", ()),
+               raw.get("stop", "converge"), raw.get("budget", 0))
+    if not isinstance(raw, (tuple, list)) or len(raw) != 4:
+        raise ScenarioError(
+            f"{where}: expected (perturbation, params, stop, budget), "
+            f"got {raw!r}"
+        )
+    name, params, stop, budget = raw
+    if not isinstance(name, str):
+        raise ScenarioError(
+            f"{where}: perturbation name must be a string, got {name!r}"
+        )
+    if stop not in STOP_MODES:
+        raise ScenarioError(
+            f"{where}: stop mode must be one of {', '.join(STOP_MODES)}, "
+            f"got {stop!r}"
+        )
+    if isinstance(budget, bool) or not isinstance(budget, int) or budget < 0:
+        raise ScenarioError(
+            f"{where}: step budget must be a non-negative integer, "
+            f"got {budget!r}"
+        )
+    if stop == "run" and budget == 0:
+        raise ScenarioError(
+            f"{where}: a 'run' phase needs an explicit positive step budget"
+        )
+    return (name, _normalize_params(params, where), stop, budget)
+
+
+def normalize_scenario(raw: object) -> CanonicalScenario:
+    """Canonicalize a scenario; the degenerate one-phase form becomes ``()``.
+
+    The collapse is what keeps legacy store digests warm: an explicit
+    ``--scenario converge`` and a config that never mentions scenarios
+    canonicalize to the *same* value, and :func:`repro.store.store.canonical_config`
+    omits the field entirely when it is empty.
+    """
+    if raw is None:
+        return ()
+    if isinstance(raw, ScenarioSpec):
+        raw = tuple(p.canonical() for p in raw.phases)
+    if not isinstance(raw, (tuple, list)):
+        raise ScenarioError(
+            f"a scenario must be a sequence of phases, got {type(raw).__name__}"
+        )
+    phases = tuple(normalize_phase(phase, index)
+                   for index, phase in enumerate(raw))
+    if phases == (DEGENERATE_PHASE,):
+        return ()
+    return phases
+
+
+# ---------------------------------------------------------------------- #
+# The named catalog (CLI spelling: NAME[:K=V,...])
+# ---------------------------------------------------------------------- #
+def _converge(params: Dict[str, int]) -> CanonicalScenario:
+    _require_params("converge", params, ())
+    return ()
+
+
+def _corrupt_recover(params: Dict[str, int]) -> CanonicalScenario:
+    _require_params("corrupt-recover", params, ("k",))
+    k = params.get("k", 1)
+    return normalize_scenario((
+        DEGENERATE_PHASE,
+        ("corrupt-states", (("k", k),), "converge", 0),
+    ))
+
+
+def _churn_recover(params: Dict[str, int]) -> CanonicalScenario:
+    _require_params("churn-recover", params, ("leave", "join"))
+    leave = params.get("leave", 1)
+    join = params.get("join", 1)
+    return normalize_scenario((
+        DEGENERATE_PHASE,
+        ("churn", (("join", join), ("leave", leave)), "converge", 0),
+    ))
+
+
+def _bias_recover(params: Dict[str, int]) -> CanonicalScenario:
+    _require_params("bias-recover", params, ("weight", "hot"))
+    pairs: List[Tuple[str, int]] = [("weight", params.get("weight", 4))]
+    if "hot" in params:
+        pairs.append(("hot", params["hot"]))
+    return normalize_scenario((
+        DEGENERATE_PHASE,
+        ("bias", tuple(pairs), "converge", 0),
+    ))
+
+
+_CATALOG = {
+    "converge": _converge,
+    "corrupt-recover": _corrupt_recover,
+    "churn-recover": _churn_recover,
+    "bias-recover": _bias_recover,
+}
+
+
+def _require_params(name: str, params: Dict[str, int],
+                    accepted: Sequence[str]) -> None:
+    unknown = sorted(set(params) - set(accepted))
+    if unknown:
+        listed = ", ".join(accepted) or "<none>"
+        raise ScenarioError(
+            f"scenario {name!r} does not accept parameter(s) "
+            f"{', '.join(unknown)}; accepted: {listed}"
+        )
+
+
+def scenario_names() -> List[str]:
+    """Named scenarios understood by :func:`parse_scenario`, sorted."""
+    return sorted(_CATALOG)
+
+
+def parse_scenario(text: str) -> CanonicalScenario:
+    """Parse the CLI spelling ``NAME[:K=V,...]`` into canonical form.
+
+    >>> parse_scenario("corrupt-recover:k=3")[1][:2]
+    ('corrupt-states', (('k', 3),))
+
+    The grammar mirrors ``--topology name[:key=value,...]``.
+    """
+    name, _, raw_params = text.partition(":")
+    name = name.strip()
+    if name not in _CATALOG:
+        raise ScenarioError(
+            f"unknown scenario {name or text!r}; "
+            f"known: {', '.join(scenario_names())}"
+        )
+    params: Dict[str, int] = {}
+    if raw_params.strip():
+        for part in raw_params.split(","):
+            key, separator, value = part.partition("=")
+            key = key.strip()
+            if not separator or not key:
+                raise ScenarioError(
+                    f"malformed scenario parameter {part!r} in {text!r} "
+                    "(expected key=value)"
+                )
+            try:
+                params[key] = int(value)
+            except ValueError:
+                raise ScenarioError(
+                    f"scenario parameter {key!r} must be an integer, "
+                    f"got {value.strip()!r}"
+                ) from None
+    return _CATALOG[name](params)
+
+
+# ---------------------------------------------------------------------- #
+# JSON wire forms (the service schema)
+# ---------------------------------------------------------------------- #
+def scenario_to_json(scenario: CanonicalScenario) -> List[Dict[str, object]]:
+    """The canonical scenario as a JSON-friendly list of phase objects."""
+    return [
+        {"perturbation": name, "params": dict(params), "stop": stop,
+         "budget": budget}
+        for name, params, stop, budget in scenario
+    ]
+
+
+def scenario_from_json(payload: object) -> CanonicalScenario:
+    """Canonicalize the JSON wire form (a list of phase objects or tuples)."""
+    if not isinstance(payload, (list, tuple)):
+        raise ScenarioError(
+            f"a scenario payload must be a list of phases, "
+            f"got {type(payload).__name__}"
+        )
+    return normalize_scenario(tuple(payload))

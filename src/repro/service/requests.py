@@ -32,6 +32,12 @@ from repro.api.config import (
 )
 from repro.api.executor import BatchRequest, validate_batch
 from repro.core.errors import TopologyError
+from repro.scenario.spec import (
+    CanonicalScenario,
+    parse_scenario,
+    scenario_from_json,
+    scenario_to_json,
+)
 from repro.topology.registry import parse_topology
 
 
@@ -51,7 +57,7 @@ _CONFIG_KEYS: Dict[str, Tuple[type, Optional[int]]] = {
 
 _KNOWN_KEYS = frozenset(
     ("protocol", "sizes", "family", "engine", "topology", "topology_params",
-     "check_backoff", *_CONFIG_KEYS)
+     "check_backoff", "scenario", *_CONFIG_KEYS)
 )
 
 
@@ -104,6 +110,28 @@ def _parse_topology(payload: Dict[str, object],
     return name, freeze_topology_params(params)
 
 
+def _parse_request_scenario(payload: Dict[str, object]) -> CanonicalScenario:
+    """The request's phased scenario in canonical form (default: none).
+
+    Accepts the CLI's catalog-string grammar (``"corrupt-recover:k=2"``) or
+    the explicit JSON phase list the status endpoint echoes back — so a
+    client can round-trip a described job verbatim.
+    """
+    raw = payload.get("scenario")
+    if raw is None:
+        return ()
+    try:
+        if isinstance(raw, str):
+            return parse_scenario(raw)
+        if isinstance(raw, list):
+            return scenario_from_json(raw)
+    except ValueError as error:
+        raise ValidationError(str(error)) from None
+    raise ValidationError(
+        f"'scenario' must be a catalog string like 'corrupt-recover:k=2' "
+        f"or a list of phase objects, got {raw!r}")
+
+
 @dataclass(frozen=True)
 class JobRequest:
     """One validated experiment request: a protocol swept over sizes."""
@@ -138,6 +166,7 @@ class JobRequest:
                  f"'check_backoff' must be a boolean, got {check_backoff!r}")
         sizes = _parse_sizes(payload)
         topology, topology_params = _parse_topology(payload)
+        scenario = _parse_request_scenario(payload)
         config = ExperimentConfig(
             sizes=sizes,
             trials=_int_field(payload, "trials", ExperimentConfig.trials,
@@ -156,6 +185,7 @@ class JobRequest:
             topology=topology,
             topology_params=topology_params,
             check_backoff=check_backoff,
+            scenario=scenario,
         )
         return cls(protocol=protocol, sizes=sizes, family=family,
                    config=config)
@@ -203,6 +233,7 @@ class JobRequest:
             "topology": self.config.topology,
             "topology_params": dict(self.config.topology_params),
             "check_backoff": self.config.check_backoff,
+            "scenario": scenario_to_json(self.config.scenario),
         }
 
     def with_engine(self, engine: str) -> "JobRequest":

@@ -62,7 +62,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
 from repro.api.config import ExperimentConfig
-from repro.api.executor import TrialResult
+from repro.api.executor import PhaseResult, TrialResult
 
 #: Bump on any record-format or key-derivation change: old records then
 #: miss (different digests) instead of being misread.
@@ -85,6 +85,23 @@ _TRIAL_FIELDS: Tuple[Tuple[str, type], ...] = (
     ("protocol_name", str),
 )
 
+#: PhaseResult fields with their required JSON types (scenario records only).
+_PHASE_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("phase", int),
+    ("perturbation", str),
+    ("steps", int),
+    ("converged", bool),
+    ("engine", str),
+    ("population_size", int),
+)
+
+
+def _jsonify(value: object) -> object:
+    """Tuples (arbitrarily nested) as JSON lists, everything else verbatim."""
+    if isinstance(value, tuple):
+        return [_jsonify(item) for item in value]
+    return value
+
 
 def canonical_config(config: ExperimentConfig) -> Dict[str, object]:
     """The config's identity-bearing fields as a JSON-ready mapping.
@@ -93,16 +110,22 @@ def canonical_config(config: ExperimentConfig) -> Dict[str, object]:
     so a future config field can never be silently left out of the store
     key (the same guarantee :meth:`ExperimentConfig.cache_key` gives the
     in-process caches).
+
+    The ``scenario`` field is omitted when it is the canonical empty tuple:
+    a legacy single-convergence config therefore hashes to exactly the
+    digest it had before scenarios existed, keeping every pre-scenario
+    record warm.  Non-empty scenarios *are* hashed (nested tuples as JSON
+    lists), so a perturb-and-re-converge run never collides with the plain
+    run it started from.
     """
     payload: Dict[str, object] = {}
     for field in dataclasses.fields(config):
         if field.name in _NON_IDENTITY_FIELDS:
             continue
         value = getattr(config, field.name)
-        if isinstance(value, tuple):
-            value = [list(item) if isinstance(item, tuple) else item
-                     for item in value]
-        payload[field.name] = value
+        if field.name == "scenario" and value == ():
+            continue
+        payload[field.name] = _jsonify(value)
     return payload
 
 
@@ -309,7 +332,8 @@ class ResultsStore:
         return record
 
     def clear(self, digest_prefix: str = "",
-              older_than_days: Optional[float] = None) -> int:
+              older_than_days: Optional[float] = None,
+              max_bytes: Optional[int] = None) -> int:
         """Delete records and count them.
 
         ``digest_prefix`` restricts deletion to matching digests;
@@ -317,24 +341,51 @@ class ResultsStore:
         the mtime of its file) more recently than that many days ago.  The
         two compose, so ``cache clear --older-than 30`` is the store's
         age-based GC policy.
+
+        ``max_bytes`` switches from "delete everything that matches" to a
+        size budget: the matching records are evicted oldest-first (by file
+        mtime, i.e. least recently written back) until the ones remaining
+        total at most that many bytes — ``cache clear --max-bytes N`` is
+        the store's size-capped GC policy.  It composes with the other two
+        filters: only matching records are counted against, or evicted for,
+        the budget.
         """
         if older_than_days is not None and older_than_days < 0:
             raise ValueError(
                 f"older_than_days must be >= 0, got {older_than_days}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         now = time.time()  # repro: allow[REP004] (GC age policy, not identity)
-        removed = 0
+        matches: List[Tuple[float, int, Path]] = []
         for digest in self.record_digests():
             if not digest.startswith(digest_prefix):
                 continue
             path = self.record_path(digest)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced away by a concurrent clear
             if older_than_days is not None:
-                try:
-                    age_days = (now - path.stat().st_mtime) / 86400.0
-                except OSError:
-                    continue  # raced away by a concurrent clear
-                if age_days < older_than_days:
+                if (now - stat.st_mtime) / 86400.0 < older_than_days:
                     continue
-            path.unlink()
+            matches.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is not None:
+            # Oldest-first eviction until the matching set fits the budget.
+            matches.sort(key=lambda entry: entry[0])
+            excess = sum(size for _, size, _ in matches) - max_bytes
+            victims = []
+            for mtime, size, path in matches:
+                if excess <= 0:
+                    break
+                victims.append((mtime, size, path))
+                excess -= size
+            matches = victims
+        removed = 0
+        for _, _, path in matches:
+            try:
+                path.unlink()
+            except OSError:
+                continue  # raced away by a concurrent clear
             lock = path.parent / f".{path.stem}.lock"
             if lock.exists():  # drop the record's advisory lock file too
                 lock.unlink()
@@ -412,8 +463,38 @@ def _validate_trials(raw: object) -> Optional[List[TrialResult]]:
             values[name] = value
         if values["trial"] != index:
             return None
-        trials.append(TrialResult(**values))
+        phases = _validate_phases(entry.get("phases"))
+        if phases is None:
+            return None
+        trials.append(TrialResult(phases=phases, **values))
     return trials
+
+
+def _validate_phases(raw: object) -> Optional[Tuple[PhaseResult, ...]]:
+    """Rebuild a trial's per-phase breakdown; ``None`` flags a corrupt record.
+
+    Pre-scenario records carry no ``phases`` key at all — that (or an
+    explicit empty list) is the valid legacy shape and maps to the empty
+    tuple, so old records stay readable without a schema bump.
+    """
+    if raw is None:
+        return ()
+    if not isinstance(raw, list):
+        return None
+    phases: List[PhaseResult] = []
+    for index, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            return None
+        values = {}
+        for name, kind in _PHASE_FIELDS:
+            value = entry.get(name)
+            if not isinstance(value, kind) or (kind is int and isinstance(value, bool)):
+                return None
+            values[name] = value
+        if values["phase"] != index:
+            return None
+        phases.append(PhaseResult(**values))
+    return tuple(phases)
 
 
 def resolve_store(path: "str | os.PathLike | None" = None,

@@ -53,3 +53,65 @@ def test_adversaries_are_deterministic_per_seed():
     first = build("uniform", N, PARAMS, rng=11)
     second = build("uniform", N, PARAMS, rng=11)
     assert [a.as_tuple() for a in first] == [b.as_tuple() for b in second]
+
+
+# ---------------------------------------------------------------------- #
+# The topology-aware packed-row family
+# ---------------------------------------------------------------------- #
+def test_packed_leader_row_fills_torus_row_zero():
+    from repro.adversary.initial_configs import packed_leader_row
+    from repro.api import ExperimentConfig, get_spec
+    from repro.core.rng import RandomSource
+    from repro.topology.registry import build_topology
+
+    spec = get_spec("angluin-modk")
+    n = 15
+    protocol = spec.build_protocol(n, ExperimentConfig())
+    population = build_topology("torus", n, width=5, height=3)
+    configuration = packed_leader_row(protocol, n, RandomSource(8), population)
+    states = configuration.states()
+    assert len(states) == n
+    for agent, state in enumerate(states):
+        row, _ = population.coordinates(agent)
+        assert protocol.is_leader(state) == (row == 0), agent
+
+
+def test_packed_leader_row_degrades_to_a_prefix_run_on_rings():
+    from math import isqrt
+
+    from repro.adversary.initial_configs import packed_leader_row
+    from repro.api import ExperimentConfig, get_spec
+    from repro.core.rng import RandomSource
+    from repro.topology.ring import DirectedRing
+
+    spec = get_spec("angluin-modk")
+    n = 9
+    protocol = spec.build_protocol(n, ExperimentConfig())
+    states = packed_leader_row(protocol, n, RandomSource(8),
+                               DirectedRing(n)).states()
+    span = max(1, isqrt(n))
+    assert [protocol.is_leader(state) for state in states] == \
+        [agent < span for agent in range(n)]
+
+
+def test_packed_leader_row_is_deterministic_per_seed():
+    from repro.adversary.initial_configs import packed_leader_row
+    from repro.api import ExperimentConfig, get_spec
+    from repro.core.rng import RandomSource
+    from repro.topology.ring import DirectedRing
+
+    spec = get_spec("angluin-modk")
+    protocol = spec.build_protocol(9, ExperimentConfig())
+    first = packed_leader_row(protocol, 9, RandomSource(8), DirectedRing(9))
+    second = packed_leader_row(protocol, 9, RandomSource(8), DirectedRing(9))
+    assert first.states() == second.states()
+
+
+def test_packed_row_family_is_registered_and_runnable():
+    from repro.api import experiment, get_spec
+
+    assert "packed-row" in get_spec("angluin-modk").families
+    assert "packed-row" in get_spec("fischer-jiang").families
+    result = (experiment("angluin-modk").on_torus(3, 3)
+              .from_family("packed-row").trials(2).seed(6).run())
+    assert all(trial.converged for trial in result.trials)

@@ -17,6 +17,7 @@ def test_builder_defaults_match_experiment_config():
         "topology": ExperimentConfig.topology,
         "topology_params": {},
         "family": "adversarial",
+        "scenario": [],
         "trials": ExperimentConfig.trials,
         "seed": ExperimentConfig.seed,
         "max_steps": ExperimentConfig.max_steps,

@@ -68,6 +68,20 @@ def test_rep004_flags_wall_clocks_in_identity_paths():
     assert len(lint_source(wall, module="repro.api.executor")) == 1
 
 
+def test_rep004_scope_covers_the_scenario_runtime():
+    # Phase results flow into store records, so the scenario layer is a
+    # result-identity path like the executor and the engines.
+    wall = "import time\nt = time.time()\n"
+    assert len(lint_source(wall, module="repro.scenario.runtime")) == 1
+    assert len(lint_source(wall, module="repro.scenario.perturbations")) == 1
+    # REP001/REP002 are global: perturbation seed derivation must use
+    # RandomSource.spawn, never builtin hash() or the random module.
+    assert len(lint_source("seed = hash('phase-1')\n",
+                           module="repro.scenario.spec")) == 1
+    assert len(lint_source("import random\n",
+                           module="repro.scenario.perturbations")) == 1
+
+
 def test_rep005_flags_unsorted_iteration_feeding_digests():
     findings = lint_file(FIXTURES / "plain" / "bad_digest_order.py")
     assert rules_in(findings) == {"REP005"}

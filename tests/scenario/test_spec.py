@@ -1,0 +1,148 @@
+"""Scenario specification: canonicalization, the catalog, and wire forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario.spec import (
+    DEGENERATE_PHASE,
+    PhaseSpec,
+    ScenarioError,
+    ScenarioSpec,
+    normalize_scenario,
+    parse_scenario,
+    scenario_from_json,
+    scenario_names,
+    scenario_to_json,
+)
+
+CORRUPT = ("corrupt-states", (("k", 2),), "converge", 0)
+
+
+# ---------------------------------------------------------------------- #
+# Normalization
+# ---------------------------------------------------------------------- #
+def test_none_and_empty_normalize_to_the_empty_scenario():
+    assert normalize_scenario(None) == ()
+    assert normalize_scenario(()) == ()
+    assert normalize_scenario([]) == ()
+
+
+def test_degenerate_one_phase_scenario_collapses_to_empty():
+    """Every spelling of "just converge once" is the same canonical value —
+    the invariant that keeps legacy store digests warm."""
+    assert normalize_scenario((DEGENERATE_PHASE,)) == ()
+    assert normalize_scenario([("", {}, "converge", 0)]) == ()
+    assert normalize_scenario([{"stop": "converge"}]) == ()
+    assert normalize_scenario(ScenarioSpec((PhaseSpec(),))) == ()
+    assert parse_scenario("converge") == ()
+
+
+def test_params_are_sorted_into_canonical_order():
+    scenario = normalize_scenario([
+        ("churn", (("leave", 1), ("join", 2)), "converge", 0),
+    ])
+    assert scenario[0][1] == (("join", 2), ("leave", 1))
+    from_mapping = normalize_scenario([
+        ("churn", {"leave": 1, "join": 2}, "converge", 0),
+    ])
+    assert from_mapping == scenario
+
+
+def test_mapping_phases_normalize_like_tuples():
+    scenario = normalize_scenario([
+        {"perturbation": "", "stop": "converge"},
+        {"perturbation": "corrupt-states", "params": {"k": 2}},
+    ])
+    assert scenario == (DEGENERATE_PHASE, CORRUPT)
+
+
+@pytest.mark.parametrize("bad,match", [
+    (42, "must be a sequence"),
+    ([("x", (), "sometimes", 0)], "stop mode"),
+    ([("x", (), "converge", -1)], "non-negative"),
+    ([("x", (), "run", 0)], "positive step budget"),
+    ([("x", ((1, 2),), "converge", 0)], "parameter name"),
+    ([("x", (("k", "three"),), "converge", 0)], "must be an.*integer"),
+    ([("x", (("k", 1), ("k", 2)), "converge", 0)], "duplicate"),
+    ([("x", (), "converge")], "expected"),
+])
+def test_malformed_scenarios_are_rejected(bad, match):
+    with pytest.raises(ScenarioError, match=match):
+        normalize_scenario(bad)
+
+
+def test_scenario_error_is_a_value_error():
+    """So every existing `except ValueError` validation funnel catches it."""
+    assert issubclass(ScenarioError, ValueError)
+
+
+# ---------------------------------------------------------------------- #
+# The named catalog (CLI grammar)
+# ---------------------------------------------------------------------- #
+def test_catalog_names_are_stable():
+    assert scenario_names() == ["bias-recover", "churn-recover",
+                                "converge", "corrupt-recover"]
+
+
+def test_parse_corrupt_recover():
+    assert parse_scenario("corrupt-recover") == (
+        DEGENERATE_PHASE, ("corrupt-states", (("k", 1),), "converge", 0))
+    assert parse_scenario("corrupt-recover:k=3") == (
+        DEGENERATE_PHASE, ("corrupt-states", (("k", 3),), "converge", 0))
+
+
+def test_parse_churn_and_bias_recover():
+    assert parse_scenario("churn-recover:leave=2,join=4") == (
+        DEGENERATE_PHASE,
+        ("churn", (("join", 4), ("leave", 2)), "converge", 0))
+    assert parse_scenario("bias-recover:weight=6,hot=3") == (
+        DEGENERATE_PHASE,
+        ("bias", (("hot", 3), ("weight", 6)), "converge", 0))
+    # hot omitted = the scheduler's auto default, not hot=0
+    assert parse_scenario("bias-recover")[1][1] == (("weight", 4),)
+
+
+@pytest.mark.parametrize("text,match", [
+    ("no-such-scenario", "unknown scenario"),
+    ("corrupt-recover:k", "malformed scenario parameter"),
+    ("corrupt-recover:k=lots", "must be an integer"),
+    ("corrupt-recover:weight=2", "does not accept"),
+    ("converge:k=1", "does not accept"),
+])
+def test_parse_scenario_rejects_bad_spellings(text, match):
+    with pytest.raises(ScenarioError, match=match):
+        parse_scenario(text)
+
+
+# ---------------------------------------------------------------------- #
+# Object and JSON wire forms
+# ---------------------------------------------------------------------- #
+def test_scenario_spec_round_trips_through_canonical():
+    canonical = (DEGENERATE_PHASE, CORRUPT)
+    spec = ScenarioSpec.from_canonical(canonical)
+    assert spec.canonical() == canonical
+    assert len(spec) == 2
+    # The empty scenario still runs exactly one (degenerate) phase.
+    empty = ScenarioSpec.from_canonical(())
+    assert len(empty) == 1
+    assert empty.phases == (PhaseSpec(),)
+
+
+def test_json_round_trip():
+    canonical = (
+        DEGENERATE_PHASE,
+        ("churn", (("join", 2), ("leave", 1)), "converge", 0),
+        ("", (), "run", 500),
+    )
+    payload = scenario_to_json(canonical)
+    assert payload[2] == {"perturbation": "", "params": {}, "stop": "run",
+                          "budget": 500}
+    assert scenario_from_json(payload) == canonical
+    assert scenario_to_json(()) == []
+    assert scenario_from_json([]) == ()
+
+
+def test_scenario_from_json_rejects_non_lists():
+    with pytest.raises(ScenarioError, match="list of phases"):
+        scenario_from_json({"perturbation": ""})

@@ -110,3 +110,68 @@ def test_batch_requests_match_the_cli_per_point_shape():
     assert all(batch.spec_name == "ppl" for batch in batches)
     assert all(batch.family == "adversarial" for batch in batches)
     assert all(batch.config is request.config for batch in batches)
+
+
+# ---------------------------------------------------------------------- #
+# Phased scenarios in the request schema
+# ---------------------------------------------------------------------- #
+def test_scenario_string_parses_like_the_cli_flag():
+    request = JobRequest.from_payload({
+        "protocol": "angluin-modk", "sizes": [9],
+        "scenario": "corrupt-recover:k=2",
+    })
+    assert request.config.scenario == (
+        ("", (), "converge", 0),
+        ("corrupt-states", (("k", 2),), "converge", 0),
+    )
+    assert request.validate() == ["adversarial"]
+
+
+def test_scenario_json_list_round_trips_through_describe():
+    phases = [
+        {"perturbation": "", "params": {}, "stop": "converge", "budget": 0},
+        {"perturbation": "churn", "params": {"leave": 1, "join": 1},
+         "stop": "converge", "budget": 0},
+    ]
+    request = JobRequest.from_payload({
+        "protocol": "angluin-modk", "sizes": [9], "scenario": phases,
+    })
+    described = request.describe()
+    assert described["scenario"] == phases
+    # A client can resubmit exactly what describe() echoed.
+    resubmitted = JobRequest.from_payload({
+        "protocol": "angluin-modk", "sizes": [9],
+        "scenario": described["scenario"],
+    })
+    assert resubmitted.config.scenario == request.config.scenario
+
+
+def test_degenerate_scenario_request_builds_the_legacy_config():
+    plain = JobRequest.from_payload({"protocol": "angluin-modk", "sizes": [9]})
+    converge = JobRequest.from_payload({
+        "protocol": "angluin-modk", "sizes": [9], "scenario": "converge"})
+    assert converge.config == plain.config
+    assert plain.describe()["scenario"] == []
+
+
+@pytest.mark.parametrize("scenario,fragment", [
+    (42, "'scenario' must be"),
+    ("no-such-scenario", "unknown scenario"),
+    ("corrupt-recover:k=oops", "must be an integer"),
+    ([{"perturbation": "corrupt-states", "stop": "sometimes"}], "stop mode"),
+])
+def test_malformed_scenarios_are_rejected_at_submission(scenario, fragment):
+    with pytest.raises(ValidationError) as excinfo:
+        JobRequest.from_payload({"protocol": "angluin-modk", "sizes": [9],
+                                 "scenario": scenario})
+    assert fragment in str(excinfo.value)
+
+
+def test_infeasible_scenarios_are_refused_by_validate():
+    request = JobRequest.from_payload({
+        "protocol": "angluin-modk", "sizes": [9],
+        "scenario": "corrupt-recover:k=99",
+    })
+    with pytest.raises(ValidationError) as excinfo:
+        request.validate()
+    assert "1 <= k <= n" in str(excinfo.value)

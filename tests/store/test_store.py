@@ -4,11 +4,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 
 import pytest
 
 from repro.api.config import ExperimentConfig
-from repro.api.executor import TrialResult
+from repro.api.executor import PhaseResult, TrialResult
 from repro.store import (
     ENV_VAR,
     SCHEMA_VERSION,
@@ -83,6 +84,9 @@ def test_canonical_config_tracks_future_fields():
     payload = canonical_config(CONFIG)
     expected = {field.name for field in dataclasses.fields(CONFIG)}
     expected -= {"sizes", "trials", "engine"}
+    # The empty scenario is omitted by design: legacy configs keep the
+    # digests they had before the scenario field existed.
+    expected -= {"scenario"}
     assert set(payload) == expected
 
 
@@ -223,3 +227,124 @@ def test_resolve_store_precedence(tmp_path, monkeypatch):
     assert explicit.root == tmp_path / "flag" and explicit.write is False
     monkeypatch.setenv(ENV_VAR, "")
     assert resolve_store(None) is None
+
+
+# ---------------------------------------------------------------------- #
+# Scenario phases in records
+# ---------------------------------------------------------------------- #
+def _phased_trials(count: int) -> list:
+    return [
+        TrialResult(
+            trial=index, steps=300, converged=True, wall_time=0.5,
+            engine="step", protocol_name="P",
+            phases=(
+                PhaseResult(phase=0, perturbation="", steps=200,
+                            converged=True, engine="step", population_size=8),
+                PhaseResult(phase=1, perturbation="corrupt-states", steps=100,
+                            converged=True, engine="step", population_size=8),
+            ),
+        )
+        for index in range(count)
+    ]
+
+
+def test_phased_trials_round_trip(tmp_path):
+    store = ResultsStore(tmp_path)
+    digest = batch_digest("ppl", 8, "adversarial", "ppl", CONFIG)
+    trials = _phased_trials(2)
+    store.save(digest, _meta(), trials)
+    loaded = store.load(digest)
+    assert loaded == trials
+    assert loaded[0].phases[1].perturbation == "corrupt-states"
+
+
+def test_legacy_records_without_phases_stay_readable(tmp_path):
+    """Pre-scenario records carry no 'phases' key; they must load as empty."""
+    store = ResultsStore(tmp_path)
+    digest = batch_digest("ppl", 8, "adversarial", "ppl", CONFIG)
+    store.save(digest, _meta(), _trials(2))
+    path = store.record_path(digest)
+    record = json.loads(path.read_text())
+    for entry in record["trials"]:
+        entry.pop("phases")
+    path.write_text(json.dumps(record))
+    loaded = store.load(digest)
+    assert loaded is not None and all(t.phases == () for t in loaded)
+
+
+def test_malformed_phases_make_the_record_a_miss(tmp_path):
+    store = ResultsStore(tmp_path)
+    digest = batch_digest("ppl", 8, "adversarial", "ppl", CONFIG)
+    store.save(digest, _meta(), _phased_trials(1))
+    path = store.record_path(digest)
+    record = json.loads(path.read_text())
+    record["trials"][0]["phases"][0]["steps"] = "many"
+    path.write_text(json.dumps(record))
+    assert store.load(digest) is None
+
+
+def test_scenario_field_reaches_the_digest():
+    scenario = (("corrupt-states", (("k", 2),), "converge", 0),)
+    base = batch_digest("ppl", 8, "adversarial", "ppl", CONFIG)
+    other = batch_digest("ppl", 8, "adversarial", "ppl",
+                         dataclasses.replace(CONFIG, scenario=scenario))
+    assert base != other
+    payload = canonical_config(dataclasses.replace(CONFIG, scenario=scenario))
+    assert payload["scenario"] == [["corrupt-states", [["k", 2]],
+                                    "converge", 0]]
+
+
+# ---------------------------------------------------------------------- #
+# Size-capped eviction (cache clear --max-bytes)
+# ---------------------------------------------------------------------- #
+def _filled_store(tmp_path, sizes=(8, 16, 32, 64)):
+    store = ResultsStore(tmp_path)
+    digests = []
+    for age, n in enumerate(sizes):
+        digest = batch_digest("ppl", n, "adversarial", "ppl", CONFIG)
+        store.save(digest, dict(_meta(), population_size=n), _trials(2))
+        path = store.record_path(digest)
+        # Deterministic mtimes: larger n = written more recently.
+        os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        digests.append(digest)
+    return store, digests
+
+
+def test_clear_max_bytes_evicts_oldest_first(tmp_path):
+    store, digests = _filled_store(tmp_path)
+    sizes = {digest: store.record_path(digest).stat().st_size
+             for digest in digests}
+    total = sum(sizes.values())
+    # Budget for all but the oldest record: exactly one eviction.
+    budget = total - sizes[digests[0]]
+    assert store.clear(max_bytes=budget) == 1
+    remaining = set(store.record_digests())
+    assert digests[0] not in remaining
+    assert remaining == set(digests[1:])
+
+
+def test_clear_max_bytes_zero_evicts_everything_matching(tmp_path):
+    store, digests = _filled_store(tmp_path)
+    assert store.clear(max_bytes=0) == len(digests)
+    assert store.record_digests() == []
+
+
+def test_clear_max_bytes_is_a_noop_under_budget(tmp_path):
+    store, digests = _filled_store(tmp_path)
+    assert store.clear(max_bytes=10 ** 9) == 0
+    assert set(store.record_digests()) == set(digests)
+
+
+def test_clear_max_bytes_composes_with_prefix(tmp_path):
+    store, digests = _filled_store(tmp_path)
+    # Only the newest record matches the prefix; the budget evicts it even
+    # though older non-matching records exist.
+    assert store.clear(digests[-1][:8], max_bytes=0) == 1
+    assert digests[-1] not in set(store.record_digests())
+    assert set(store.record_digests()) == set(digests[:-1])
+
+
+def test_clear_rejects_negative_max_bytes(tmp_path):
+    store = ResultsStore(tmp_path)
+    with pytest.raises(ValueError, match="max_bytes"):
+        store.clear(max_bytes=-1)

@@ -116,7 +116,8 @@ def test_run_json_schema_fields(capsys):
     assert len(result["trials"]) == 2
     for trial in result["trials"]:
         assert set(trial) == {"trial", "steps", "converged", "wall_time",
-                              "engine", "protocol_name"}
+                              "engine", "protocol_name", "phases"}
+        assert trial["phases"] == []  # no --scenario: the legacy single run
         assert trial["engine"] == "step"  # P_PL's state space falls back
         assert trial["protocol_name"].startswith("P_PL")
 
