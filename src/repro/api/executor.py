@@ -52,6 +52,7 @@ import multiprocessing
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field as dataclass_field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -493,22 +494,63 @@ def run_trials(tasks: Sequence[TrialTask],
     path — writes every batch's completed contiguous trial prefix back
     before re-raising, so an interrupted sweep resumes instead of
     recomputing.
+
+    A :class:`BrokenProcessPool` — a worker process OOM-killed or otherwise
+    dead — is survived once on an *owned* pool: a fresh pool is built and
+    only the not-yet-yielded tail of the task list re-runs (determinism
+    makes the re-run bit-identical; with a store it is mostly served from
+    cache).  A second break raises a ``RuntimeError`` diagnostic instead of
+    retrying forever.  On a caller-owned ``pool`` the exception propagates
+    — the pool's owner (the service's :class:`WarmPool`) does the
+    rebuilding, since other runs share that pool.
     """
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if store is None:
-        stream = _result_stream(tasks, workers, pool)
-        results: List[TrialResult] = []
+        return _run_plain_trials(tasks, workers, on_result, pool)
+    return _run_stored_trials(tasks, workers, store, on_result, pool)
+
+
+def _broken_pool_diagnostic(done: int, total: int) -> str:
+    return (
+        f"process pool broke twice while executing trials "
+        f"({done} of {total} completed); a worker process is dying "
+        "repeatedly — likely killed by the OS (OOM) or crashing on a "
+        "specific trial. Re-run serially (workers=1) to isolate it.")
+
+
+def _run_plain_trials(tasks: Sequence[TrialTask], workers: Optional[int],
+                      on_result: Optional[OnResult],
+                      pool: "ProcessPoolExecutor | None",
+                      ) -> List[TrialResult]:
+    """The storeless path of :func:`run_trials`, with one pool rebuild.
+
+    Results accumulate across pool incarnations: after a break, only tasks
+    whose results were never yielded re-run on the fresh pool.
+    """
+    results: List[TrialResult] = []
+    rebuilt = False
+    while True:
+        stream = _result_stream(tasks[len(results):], workers, pool)
         try:
-            for position, outcome in enumerate(stream):
+            for outcome in stream:
+                position = len(results)
                 results.append(outcome)
                 if on_result is not None:
                     on_result(position, tasks[position], outcome, False)
         except KeyboardInterrupt:
             stream.close()  # shuts an owned pool down promptly
             raise
+        except BrokenProcessPool as error:
+            if pool is not None:
+                raise  # shared pool: its owner rebuilds (WarmPool.run_point)
+            if rebuilt:
+                raise RuntimeError(
+                    _broken_pool_diagnostic(len(results), len(tasks))
+                ) from error
+            rebuilt = True
+            continue
         return results
-    return _run_stored_trials(tasks, workers, store, on_result, pool)
 
 
 # ---------------------------------------------------------------------- #
@@ -587,26 +629,48 @@ def _run_stored_trials(tasks: Sequence[TrialTask], workers: Optional[int],
             if cached is not None:
                 on_result(position, tasks[position], cached, True)
 
-    stream = _result_stream([tasks[position] for position in pending],
-                            workers, pool)
-    try:
-        for position, outcome in zip(pending, stream):
-            results[position] = outcome
-            if on_result is not None:
-                on_result(position, tasks[position], outcome, False)
-            group = group_of[position]
-            group.pending -= 1
-            if group.pending == 0:
-                _write_back(store, group, tasks, results)
-    except KeyboardInterrupt:
-        # Shut the pool down (queued trials cancelled, in-flight finished),
-        # then persist what every unfinished batch already produced: its
-        # contiguous prefix is a valid record a resumed sweep tops up.
-        stream.close()
-        for group in ordered_groups:
-            if group.pending > 0:
-                _write_back(store, group, tasks, results)
-        raise
+    completed = 0
+    rebuilt = False
+    while completed < len(pending):
+        stream = _result_stream(
+            [tasks[position] for position in pending[completed:]],
+            workers, pool)
+        try:
+            for position, outcome in zip(pending[completed:], stream):
+                results[position] = outcome
+                completed += 1
+                if on_result is not None:
+                    on_result(position, tasks[position], outcome, False)
+                group = group_of[position]
+                group.pending -= 1
+                if group.pending == 0:
+                    _write_back(store, group, tasks, results)
+        except KeyboardInterrupt:
+            # Shut the pool down (queued trials cancelled, in-flight
+            # finished), then persist what every unfinished batch already
+            # produced: its contiguous prefix is a valid record a resumed
+            # sweep tops up.
+            stream.close()
+            for group in ordered_groups:
+                if group.pending > 0:
+                    _write_back(store, group, tasks, results)
+            raise
+        except BrokenProcessPool as error:
+            # Persist every partial batch first — whatever happens next,
+            # the finished prefixes are resumable — then rebuild once (the
+            # re-run's head is served straight from what was just saved).
+            for group in ordered_groups:
+                if group.pending > 0:
+                    _write_back(store, group, tasks, results)
+            if pool is not None:
+                raise  # shared pool: its owner rebuilds (WarmPool.run_point)
+            if rebuilt:
+                raise RuntimeError(
+                    _broken_pool_diagnostic(
+                        len(tasks) - (len(pending) - completed), len(tasks))
+                ) from error
+            rebuilt = True
+            continue
     return results  # type: ignore[return-value]  # every slot is filled above
 
 

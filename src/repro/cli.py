@@ -23,17 +23,26 @@ protocol registered there is runnable with no CLI edits:
 * ``repro-ssle serve``        — the async experiment service: a job-lifecycle
   HTTP/JSON API over one warm, shared worker pool (see
   :mod:`repro.service`)
+* ``repro-ssle store-serve``  — put a results-store directory on the wire
+  (GET/PUT records by digest, never-shrink merge server-side)
+* ``repro-ssle fabric-serve`` — the sweep coordinator: workers claim points
+  under TTL leases; expired leases are reclaimed (see :mod:`repro.fabric`)
+* ``repro-ssle work``         — a fabric worker: claim, heartbeat, execute,
+  write back through the store, repeat
 
 Every command accepts ``--format {text,json}``; JSON output is sanitised
 (non-finite floats become ``null``) so the results are machine-consumable.
 Sweep commands additionally accept ``--sizes``, ``--trials``, ``--max-steps``,
 ``--kappa-factor``, ``--check-interval`` and ``--seed``.
 
-``run``/``table1``/``scaling`` accept ``--store PATH`` (default: the
+``run``/``table1``/``scaling`` accept ``--store PATH|URL`` (default: the
 ``REPRO_STORE`` environment variable; off when neither is set): trial
-batches whose content address matches a stored record are served from disk
+batches whose content address matches a stored record are served
 bit-identically instead of recomputed, missing trials top the record up,
-and ``--no-store-write`` makes the store read-only.
+and ``--no-store-write`` makes the store read-only.  An ``http://`` value
+selects a ``store-serve`` daemon instead of a local directory — reads and
+writes then retry with backoff and degrade to recompute-on-miss, never
+failing the run.
 """
 
 from __future__ import annotations
@@ -105,6 +114,13 @@ def _non_negative_float(raw: str) -> float:
     return value
 
 
+def _positive_float(raw: str) -> float:
+    value = float(raw)
+    if not (value > 0):  # also rejects NaN
+        raise argparse.ArgumentTypeError(f"expected a number > 0, got {raw}")
+    return value
+
+
 def _parse_scenario_arg(raw: str):
     """``--scenario`` value → canonical phase tuple (usage error on defects)."""
     try:
@@ -163,10 +179,14 @@ def build_parser() -> argparse.ArgumentParser:
                            f"registered: {', '.join(topology_names())})")
 
     storage = argparse.ArgumentParser(add_help=False)
-    storage.add_argument("--store", default=None, metavar="PATH",
-                         help="content-addressed results store root: trial "
-                              "batches already on disk are served bit-identically "
-                              "instead of recomputed, fresh ones are written back "
+    storage.add_argument("--store", default=None, metavar="PATH|URL",
+                         help="content-addressed results store: trial "
+                              "batches already stored are served bit-identically "
+                              "instead of recomputed, fresh ones are written back. "
+                              "A directory path uses local records; an http:// "
+                              "URL speaks to a `repro-ssle store-serve` daemon "
+                              "with bounded retry+backoff, degrading to "
+                              "recompute-on-miss when it is unreachable "
                               "(default: the REPRO_STORE environment variable; "
                               "store off when neither is set)")
     storage.add_argument("--no-store-write", action="store_true",
@@ -296,6 +316,60 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-jobs", type=_positive_int, default=None,
                        help="jobs allowed to run concurrently; the rest "
                             "stay QUEUED (default: unbounded)")
+
+    store_serve = subparsers.add_parser(
+        "store-serve", parents=[storage, fmt],
+        help="serve a results-store directory over HTTP (GET/PUT records "
+             "by digest; never-shrink merge runs server-side)",
+    )
+    store_serve.add_argument("--host", default="127.0.0.1",
+                             help="interface to bind (default: 127.0.0.1)")
+    store_serve.add_argument("--port", type=_non_negative_int, default=8651,
+                             help="TCP port to bind; 0 picks an ephemeral "
+                                  "port (default: 8651)")
+
+    fabric_serve = subparsers.add_parser(
+        "fabric-serve", parents=[fmt],
+        help="run the sweep coordinator: workers claim points under TTL "
+             "leases, heartbeat while executing, and expired leases are "
+             "reclaimed for other workers",
+    )
+    fabric_serve.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default: 127.0.0.1)")
+    fabric_serve.add_argument("--port", type=_non_negative_int, default=8652,
+                              help="TCP port to bind; 0 picks an ephemeral "
+                                   "port (default: 8652)")
+    fabric_serve.add_argument("--lease-ttl", type=_positive_float, default=15.0,
+                              metavar="SECONDS",
+                              help="work-claim lease duration; a worker that "
+                                   "stops heartbeating loses its point after "
+                                   "this long (default: 15)")
+    fabric_serve.add_argument("--max-attempts", type=_positive_int, default=5,
+                              help="lease grants per point before the sweep "
+                                   "fails with a diagnostic — a point that "
+                                   "keeps killing workers must not requeue "
+                                   "forever (default: 5)")
+
+    work = subparsers.add_parser(
+        "work", parents=[storage, fmt],
+        help="serve a fabric coordinator as a worker: claim sweep points, "
+             "heartbeat, execute, write results through the shared store",
+    )
+    work.add_argument("--coordinator", required=True, metavar="URL",
+                      help="the `repro-ssle fabric-serve` endpoint to claim "
+                           "work from, e.g. http://127.0.0.1:8652")
+    work.add_argument("--workers", type=_positive_int, default=1,
+                      help="processes for each point's trials "
+                           "(default: 1 = in-process)")
+    work.add_argument("--poll", type=_positive_float, default=0.5,
+                      metavar="SECONDS",
+                      help="idle polling interval (default: 0.5)")
+    work.add_argument("--drain", action="store_true",
+                      help="exit once the coordinator reports no runnable "
+                           "sweeps instead of polling forever (CI/batch mode)")
+    work.add_argument("--max-points", type=_positive_int, default=None,
+                      help="exit after executing this many points "
+                           "(default: unbounded)")
     return parser
 
 
@@ -755,6 +829,99 @@ def _cmd_serve(args: argparse.Namespace) -> CommandOutput:
     }
 
 
+def _announce(line: str) -> None:
+    """Daemon announce lines go to stderr so stdout stays machine-parseable."""
+    print(line, file=sys.stderr, flush=True)
+
+
+def _cmd_store_serve(args: argparse.Namespace) -> CommandOutput:
+    from repro.fabric.httpd import JsonHttpServer
+    from repro.fabric.store_server import StoreApp
+    from repro.store.store import ResultsStore
+
+    store = _store_from_args(args)
+    if store is None:
+        raise CommandError(
+            "store-serve needs a store directory; pass --store PATH "
+            "or set REPRO_STORE"
+        )
+    if not isinstance(store, ResultsStore):
+        raise CommandError(
+            "store-serve puts a local directory on the wire; --store must "
+            "be a path here, not another server's URL"
+        )
+    server = JsonHttpServer(StoreApp(store), host=args.host, port=args.port)
+    _announce(f"store server serving {store.root} on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass  # ^C is the intended way to stop a foreground daemon
+    finally:
+        server.close()
+    return "store server stopped", {
+        "command": "store-serve", "host": args.host, "port": server.port,
+        "root": str(store.root),
+    }
+
+
+def _cmd_fabric_serve(args: argparse.Namespace) -> CommandOutput:
+    from repro.fabric.coordinator import Coordinator
+    from repro.fabric.coordinator_server import CoordinatorApp
+    from repro.fabric.httpd import JsonHttpServer
+
+    coordinator = Coordinator(lease_ttl=args.lease_ttl,
+                              max_attempts=args.max_attempts)
+    server = JsonHttpServer(CoordinatorApp(coordinator),
+                            host=args.host, port=args.port)
+    _announce(f"fabric coordinator serving on {server.url} "
+              f"(lease_ttl={args.lease_ttl:g}s, "
+              f"max_attempts={args.max_attempts})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass  # ^C is the intended way to stop a foreground daemon
+    finally:
+        server.close()
+    return "fabric coordinator stopped", {
+        "command": "fabric-serve", "host": args.host, "port": server.port,
+        "lease_ttl": args.lease_ttl, "max_attempts": args.max_attempts,
+    }
+
+
+def _cmd_work(args: argparse.Namespace) -> CommandOutput:
+    from repro.fabric.transport import TransportError
+    from repro.fabric.worker import work_loop
+
+    store = _store_from_args(args)
+    if store is None:
+        raise CommandError(
+            "work needs a results store the fleet shares (its write-backs "
+            "are how finished points survive this process); pass "
+            "--store PATH|URL or set REPRO_STORE"
+        )
+    stats: Dict[str, object] = {}
+    try:
+        stats = work_loop(
+            args.coordinator,
+            store=store,
+            workers=args.workers if args.workers > 1 else None,
+            poll=args.poll,
+            drain=args.drain,
+            max_points=args.max_points,
+            announce=_announce,
+        )
+    except TransportError as error:
+        raise CommandError(
+            f"coordinator unreachable at {args.coordinator}: {error}"
+        ) from None
+    except KeyboardInterrupt:
+        pass  # ^C is the intended way to stop a foreground worker
+    payload = {"command": "work", "coordinator": args.coordinator,
+               "store": store.stats(), **stats}
+    executed = stats.get("points", "?")
+    return f"worker stopped after {executed} point(s)", payload
+
+
 def _cmd_detection(args: argparse.Namespace) -> CommandOutput:
     _require_auto_engine(args)
     from repro.experiments.detection import measure_detection
@@ -890,6 +1057,9 @@ _HANDLERS = {
     "cache": _cmd_cache,
     "check": _cmd_check,
     "serve": _cmd_serve,
+    "store-serve": _cmd_store_serve,
+    "fabric-serve": _cmd_fabric_serve,
+    "work": _cmd_work,
 }
 
 

@@ -1,0 +1,47 @@
+"""Fault-tolerant distributed sweep fabric.
+
+Three cooperating pieces turn a scaling sweep into work a fleet absorbs:
+
+* a **store server** (``repro-ssle store-serve``) putting the
+  content-addressed results store on the wire, with the same never-shrink
+  merge semantics a local store has (:mod:`repro.fabric.store_server`,
+  client :class:`~repro.fabric.remote.RemoteStore`);
+* a **coordinator** (``repro-ssle fabric-serve``) handing out sweep points
+  under TTL leases, reclaiming them when workers die
+  (:mod:`repro.fabric.coordinator`);
+* a **worker loop** (``repro-ssle work``) that claims, heartbeats,
+  executes, and writes back through the store
+  (:mod:`repro.fabric.worker`).
+
+Every remote call shares one bounded retry/backoff/jitter/timeout policy
+(:mod:`repro.fabric.retry`, :mod:`repro.fabric.transport`). The store is
+the only durable state: workers and the coordinator alike may crash
+silently and be replaced, and per-index seed derivation guarantees the
+reassembled sweep is bit-identical to a serial single-machine run.
+"""
+
+from repro.fabric.client import FabricClient, FabricError
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.coordinator_server import CoordinatorApp
+from repro.fabric.httpd import JsonHttpServer
+from repro.fabric.remote import RemoteStore
+from repro.fabric.retry import RetryPolicy, call_with_retry
+from repro.fabric.store_server import StoreApp
+from repro.fabric.transport import TransportError, parse_http_url, request_json
+from repro.fabric.worker import work_loop
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorApp",
+    "FabricClient",
+    "FabricError",
+    "JsonHttpServer",
+    "RemoteStore",
+    "RetryPolicy",
+    "StoreApp",
+    "TransportError",
+    "call_with_retry",
+    "parse_http_url",
+    "request_json",
+    "work_loop",
+]

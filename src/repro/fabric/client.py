@@ -1,0 +1,117 @@
+"""Typed client for the coordinator's HTTP protocol.
+
+Used by the worker loop, the CLI, and tests. Every call rides
+:func:`repro.fabric.transport.request_json`, so retry/backoff/timeout come
+for free; what this layer adds is the error split: a 4xx/unexpected status
+raises :class:`FabricError` (the request is wrong — retrying won't help),
+while connection-level failure surfaces as
+:class:`~repro.fabric.transport.TransportError` after the policy's retries
+(the coordinator is *gone* — the worker decides whether to keep polling).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.fabric.retry import RetryPolicy
+from repro.fabric.transport import parse_http_url, request_json
+
+__all__ = ["FabricClient", "FabricError", "DEFAULT_COORDINATOR_PORT"]
+
+#: ``repro-ssle fabric-serve``'s default port (8642 is the experiment
+#: service, 8651 the store server).
+DEFAULT_COORDINATOR_PORT = 8652
+
+
+class FabricError(RuntimeError):
+    """The coordinator refused a request (4xx or unexpected status)."""
+
+    def __init__(self, status: int, payload: Dict[str, object]) -> None:
+        message = payload.get("error") or f"unexpected status {status}"
+        super().__init__(f"{message} (HTTP {status})")
+        self.status = status
+        self.payload = payload
+
+
+class FabricClient:
+    """One coordinator endpoint, with the fabric's retry policy."""
+
+    def __init__(self, url: str,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        self.url = url.rstrip("/")
+        self.host, self.port = parse_http_url(self.url,
+                                              DEFAULT_COORDINATOR_PORT)
+        self.policy = policy or RetryPolicy()
+
+    def _call(self, method: str, path: str,
+              body: Optional[Dict[str, object]] = None,
+              expect: int = 200) -> Dict[str, object]:
+        status, payload = request_json(self.host, self.port, method, path,
+                                       body, policy=self.policy)
+        if status != expect:
+            raise FabricError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Control plane
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, object]:
+        return self._call("GET", "/")
+
+    def register(self, meta: Optional[Dict[str, object]] = None) -> str:
+        payload = self._call("POST", "/workers", {"meta": meta or {}},
+                             expect=201)
+        return str(payload["worker"])
+
+    def submit(self, request_payload: Dict[str, object]) -> str:
+        """Submit a sweep; returns its id. 400s raise :class:`FabricError`."""
+        payload = self._call("POST", "/sweeps", request_payload, expect=201)
+        return str(payload["sweep"])
+
+    def sweeps(self) -> Dict[str, object]:
+        return self._call("GET", "/sweeps")
+
+    def status(self, sweep_id: str) -> Dict[str, object]:
+        return self._call("GET", f"/sweeps/{sweep_id}")
+
+    # ------------------------------------------------------------------ #
+    # The lease protocol
+    # ------------------------------------------------------------------ #
+    def claim(self, worker_id: str) -> Dict[str, object]:
+        return self._call("POST", "/claim", {"worker": worker_id})
+
+    def heartbeat(self, worker_id: str, sweep_id: str,
+                  index: int) -> Dict[str, object]:
+        return self._call("POST", "/heartbeat",
+                          {"worker": worker_id, "sweep": sweep_id,
+                           "point": index})
+
+    def complete(self, worker_id: str, sweep_id: str,
+                 index: int) -> Dict[str, object]:
+        return self._call("POST", "/complete",
+                          {"worker": worker_id, "sweep": sweep_id,
+                           "point": index})
+
+    def fail(self, worker_id: str, sweep_id: str, index: int,
+             error: str) -> Dict[str, object]:
+        return self._call("POST", "/fail",
+                          {"worker": worker_id, "sweep": sweep_id,
+                           "point": index, "error": error})
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def wait(self, sweep_id: str, timeout: float = 120.0,
+             poll: float = 0.2) -> Dict[str, object]:
+        """Block until the sweep leaves RUNNING (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(sweep_id)
+            if status.get("state") != "RUNNING":
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"sweep {sweep_id} still RUNNING after {timeout:.0f}s: "
+                    f"{ {k: status.get(k) for k in ('done', 'leased', 'pending')} }")
+            time.sleep(poll)

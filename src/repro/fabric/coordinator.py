@@ -1,0 +1,371 @@
+"""Lease-based sweep coordination: claim, heartbeat, reclaim, complete.
+
+The coordinator is the fabric's control plane, and it is deliberately
+*disposable*: the content-addressed store is the only durable state. A
+sweep here is just a validated :class:`JobRequest` exploded into per-size
+work points; workers claim points under TTL leases, heartbeat to keep them,
+and write results through the store. If a worker dies, its lease expires
+and the point is handed to someone else; if the *coordinator* dies, a new
+one is started and the sweep resubmitted — every point a worker already
+finished is served from the store in milliseconds, so recovery costs only
+the points genuinely in flight. Per-index seed derivation makes all of this
+safe: any worker, any engine, any number of retries computes bit-identical
+trials for a given point.
+
+Lifecycle follows the pod create/status/delete pattern: ``register`` a
+worker, ``claim`` work, ``heartbeat`` while executing, ``complete`` or
+``fail`` when done. Reclaim is lazy — expired leases are swept at the top
+of every claim/status call — so the coordinator needs no timer thread, and
+an injectable clock makes every expiry scenario testable without sleeping.
+
+Double execution is tolerated by design, never amplified: a ``complete``
+for a point whose lease was reclaimed is accepted (the store already merged
+the trials — rejecting the message would not un-run them), and one recorded
+as done is answered ``stale``. The accounting invariant tests assert is
+``attempts == 1 + reclaims + failures`` per point: no lost points, no
+execution beyond reclaimed leases.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.service.requests import JobRequest
+
+__all__ = ["Coordinator", "Sweep", "WorkPoint",
+           "PENDING", "LEASED", "DONE", "RUNNING", "FAILED"]
+
+# Point states.
+PENDING = "PENDING"
+LEASED = "LEASED"
+DONE = "DONE"
+
+# Sweep states (a sweep is RUNNING until every point is DONE, or FAILED
+# once any point exhausts its attempt budget).
+RUNNING = "RUNNING"
+FAILED = "FAILED"
+
+
+@dataclass
+class WorkPoint:
+    """One sweep point: a single (spec, n, config) batch a worker claims."""
+
+    index: int
+    population_size: int
+    #: The point as a self-contained submission payload (``sizes=[n]``) —
+    #: the worker rebuilds the exact :class:`JobRequest` from this, which
+    #: is what guarantees its seeds match a serial run of the full sweep.
+    payload: Dict[str, object]
+    state: str = PENDING
+    worker: Optional[str] = None
+    lease_expires: float = 0.0
+    #: Leases ever granted for this point (first claim included).
+    attempts: int = 0
+    #: Leases that expired and were handed to another worker.
+    reclaims: int = 0
+    #: Explicit failure reports (worker raised while executing).
+    failures: int = 0
+    completed_by: Optional[str] = None
+    last_error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "population_size": self.population_size,
+            "state": self.state,
+            "worker": self.worker,
+            "attempts": self.attempts,
+            "reclaims": self.reclaims,
+            "failures": self.failures,
+            "completed_by": self.completed_by,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass
+class Sweep:
+    """One submitted sweep: a request payload exploded into work points."""
+
+    sweep_id: str
+    payload: Dict[str, object]
+    points: List[WorkPoint]
+    state: str = RUNNING
+    error: Optional[str] = None
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "points": len(self.points),
+            "done": sum(1 for p in self.points if p.state == DONE),
+            "leased": sum(1 for p in self.points if p.state == LEASED),
+            "pending": sum(1 for p in self.points if p.state == PENDING),
+            "attempts": sum(p.attempts for p in self.points),
+            "reclaims": sum(p.reclaims for p in self.points),
+            "failures": sum(p.failures for p in self.points),
+        }
+
+
+@dataclass
+class _Worker:
+    worker_id: str
+    meta: Dict[str, object] = field(default_factory=dict)
+
+
+class Coordinator:
+    """The lease state machine (pure; the HTTP facade is a thin wrapper).
+
+    Everything runs under one mutex — claims are millisecond bookkeeping
+    next to minutes of trial execution, so a single lock is the right
+    trade. ``clock`` is injectable (monotonic seconds) so tests drive
+    lease expiry without sleeping.
+    """
+
+    def __init__(self, lease_ttl: float = 15.0, max_attempts: int = 5,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._workers: Dict[str, _Worker] = {}
+        self._sweeps: Dict[str, Sweep] = {}
+        self._worker_seq = 0
+        self._sweep_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle
+    # ------------------------------------------------------------------ #
+    def register(self, meta: Optional[Dict[str, object]] = None) -> str:
+        """Admit a worker and name it (``worker-0001``, ...)."""
+        with self._lock:
+            self._worker_seq += 1
+            worker_id = f"worker-{self._worker_seq:04d}"
+            self._workers[worker_id] = _Worker(worker_id, dict(meta or {}))
+            return worker_id
+
+    # ------------------------------------------------------------------ #
+    # Sweep submission / inspection
+    # ------------------------------------------------------------------ #
+    def submit(self, payload: object) -> Dict[str, object]:
+        """Validate a submission payload and explode it into work points.
+
+        Raises :class:`ValidationError` (HTTP 400) on any defect — the same
+        eager checks the experiment service applies, so a sweep that could
+        never run is refused before any worker touches it.
+        """
+        request = JobRequest.from_payload(payload)
+        request.validate()
+        described = request.describe()
+        points = [
+            WorkPoint(index=index, population_size=size,
+                      payload=dict(described, sizes=[size]))
+            for index, size in enumerate(request.sizes)
+        ]
+        with self._lock:
+            self._sweep_seq += 1
+            sweep_id = f"sweep-{self._sweep_seq:04d}"
+            self._sweeps[sweep_id] = Sweep(sweep_id, described, points)
+        return {"sweep": sweep_id, "points": len(points)}
+
+    def sweeps(self) -> List[Dict[str, object]]:
+        with self._lock:
+            self._reclaim_expired(self._clock())
+            return [
+                {"sweep": sweep.sweep_id, "state": sweep.state,
+                 **sweep.counts()}
+                for sweep in self._sweeps.values()
+            ]
+
+    def sweep_status(self, sweep_id: str) -> Optional[Dict[str, object]]:
+        """Full status of one sweep (``None`` for an unknown id)."""
+        with self._lock:
+            self._reclaim_expired(self._clock())
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None:
+                return None
+            return {
+                "sweep": sweep.sweep_id,
+                "state": sweep.state,
+                "error": sweep.error,
+                "request": dict(sweep.payload),
+                **sweep.counts(),
+                "point_detail": [point.as_dict() for point in sweep.points],
+            }
+
+    # ------------------------------------------------------------------ #
+    # The lease protocol: claim / heartbeat / complete / fail
+    # ------------------------------------------------------------------ #
+    def claim(self, worker_id: str) -> Dict[str, object]:
+        """Hand the worker a point under a fresh TTL lease.
+
+        Responses (all HTTP 200 — these are protocol states, not errors):
+
+        * ``{"status": "work", ...}`` — a point to execute, with its
+          payload, lease TTL, and attempt number. Idempotent: a worker
+          already holding an unexpired lease gets the *same* point back,
+          so a claim whose response was dropped on the wire cannot
+          double-lease.
+        * ``{"status": "wait", "retry_after": s}`` — everything is leased
+          out; poll again in ``s`` seconds (the soonest a lease can expire).
+        * ``{"status": "idle"}`` — no runnable sweeps at all.
+        * ``{"status": "unknown-worker"}`` — re-register (the coordinator
+          restarted since this worker registered).
+        """
+        with self._lock:
+            now = self._clock()
+            self._reclaim_expired(now)
+            if worker_id not in self._workers:
+                return {"status": "unknown-worker"}
+            # Idempotent re-claim: the retry of a dropped claim response
+            # must land on the same lease, not a second one.
+            for sweep in self._sweeps.values():
+                for point in sweep.points:
+                    if (point.state == LEASED and point.worker == worker_id
+                            and point.lease_expires > now):
+                        return self._work_response(sweep, point)
+            soonest: Optional[float] = None
+            any_running = False
+            for sweep in self._sweeps.values():
+                if sweep.state != RUNNING:
+                    continue
+                any_running = True
+                for point in sweep.points:
+                    if point.state == PENDING:
+                        point.state = LEASED
+                        point.worker = worker_id
+                        point.lease_expires = now + self.lease_ttl
+                        point.attempts += 1
+                        return self._work_response(sweep, point)
+                    if point.state == LEASED:
+                        remaining = max(0.0, point.lease_expires - now)
+                        if soonest is None or remaining < soonest:
+                            soonest = remaining
+            if any_running and soonest is not None:
+                return {"status": "wait",
+                        "retry_after": round(soonest, 3)}
+            return {"status": "idle"}
+
+    def heartbeat(self, worker_id: str, sweep_id: str,
+                  index: int) -> Dict[str, object]:
+        """Extend the lease on a point the worker is still executing.
+
+        ``{"status": "ok"}`` with a fresh expiry, or ``{"status": "lost"}``
+        when the lease is gone (expired and reclaimed, point finished by
+        someone else, coordinator restarted). A worker that hears ``lost``
+        keeps executing — its eventual ``complete`` is still accepted —
+        but learns not to count on the lease.
+        """
+        with self._lock:
+            now = self._clock()
+            self._reclaim_expired(now)
+            point = self._find_point(sweep_id, index)
+            if (point is None or point.state != LEASED
+                    or point.worker != worker_id):
+                return {"status": "lost"}
+            point.lease_expires = now + self.lease_ttl
+            return {"status": "ok", "lease_ttl": self.lease_ttl}
+
+    def complete(self, worker_id: str, sweep_id: str,
+                 index: int) -> Dict[str, object]:
+        """Record a point as done (the trials are already in the store).
+
+        Accepted from *any* worker whose execution finished — even one
+        whose lease was reclaimed: the store merged its write-back
+        never-shrink, so refusing the message would misstate reality. A
+        point already done answers ``stale`` (pure acknowledgement).
+        """
+        with self._lock:
+            self._reclaim_expired(self._clock())
+            sweep = self._sweeps.get(sweep_id)
+            point = self._find_point(sweep_id, index)
+            if sweep is None or point is None:
+                return {"status": "unknown"}
+            if point.state == DONE:
+                return {"status": "stale"}
+            point.state = DONE
+            point.worker = None
+            point.completed_by = worker_id
+            if all(p.state == DONE for p in sweep.points):
+                sweep.state = DONE
+            return {"status": "ok", "sweep_state": sweep.state}
+
+    def fail(self, worker_id: str, sweep_id: str, index: int,
+             error: str) -> Dict[str, object]:
+        """A worker's explicit failure report: requeue or give up.
+
+        The point returns to ``PENDING`` for another attempt unless its
+        attempt budget (``max_attempts`` leases) is exhausted, in which
+        case the whole sweep is marked ``FAILED`` with the last error —
+        a deterministic bug would otherwise requeue forever.
+        """
+        with self._lock:
+            self._reclaim_expired(self._clock())
+            sweep = self._sweeps.get(sweep_id)
+            point = self._find_point(sweep_id, index)
+            if sweep is None or point is None:
+                return {"status": "unknown"}
+            if point.state == DONE:
+                return {"status": "stale"}
+            point.failures += 1
+            point.last_error = error
+            point.worker = None
+            if point.attempts >= self.max_attempts:
+                sweep.state = FAILED
+                sweep.error = (
+                    f"point {index} (n={point.population_size}) failed "
+                    f"after {point.attempts} attempt(s): {error}")
+                return {"status": "gave-up", "sweep_state": sweep.state}
+            point.state = PENDING
+            return {"status": "requeued"}
+
+    # ------------------------------------------------------------------ #
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------ #
+    def _work_response(self, sweep: Sweep,
+                       point: WorkPoint) -> Dict[str, object]:
+        return {
+            "status": "work",
+            "sweep": sweep.sweep_id,
+            "point": point.index,
+            "lease_ttl": self.lease_ttl,
+            "attempt": point.attempts,
+            "payload": dict(point.payload),
+        }
+
+    def _find_point(self, sweep_id: str, index: int) -> Optional[WorkPoint]:
+        sweep = self._sweeps.get(sweep_id)
+        if sweep is None or not isinstance(index, int):
+            return None
+        if not 0 <= index < len(sweep.points):
+            return None
+        return sweep.points[index]
+
+    def _reclaim_expired(self, now: float) -> None:
+        """Return expired leases to the pool (lazy, every entry point).
+
+        A reclaimed point whose lease budget is spent fails the sweep —
+        same reasoning as :meth:`fail`: a point that keeps killing its
+        workers should stop the sweep with a diagnostic, not spin.
+        """
+        for sweep in self._sweeps.values():
+            if sweep.state != RUNNING:
+                continue
+            for point in sweep.points:
+                if point.state != LEASED or point.lease_expires > now:
+                    continue
+                point.reclaims += 1
+                point.worker = None
+                if point.attempts >= self.max_attempts:
+                    sweep.state = FAILED
+                    sweep.error = (
+                        f"point {point.index} (n={point.population_size}) "
+                        f"lease expired {point.reclaims} time(s) and the "
+                        f"attempt budget ({self.max_attempts}) is spent")
+                    point.state = PENDING
+                    continue
+                point.state = PENDING

@@ -1,0 +1,110 @@
+"""HTTP facade over the :class:`Coordinator` lease state machine.
+
+``repro-ssle fabric-serve`` puts these routes on the wire:
+
+========  ====================  =============================================
+method    path                  body / response
+========  ====================  =============================================
+GET       /                     identity + sweep counts
+GET       /health               liveness probe
+POST      /workers              ``{meta?}`` -> 201 ``{worker}``
+POST      /sweeps               submission payload -> 201 ``{sweep, points}``
+GET       /sweeps               sweep summaries
+GET       /sweeps/{id}          full status incl. per-point detail
+POST      /claim                ``{worker}`` -> work/wait/idle/unknown-worker
+POST      /heartbeat            ``{worker, sweep, point}`` -> ok/lost
+POST      /complete             ``{worker, sweep, point}`` -> ok/stale/unknown
+POST      /fail                 ``{worker, sweep, point, error}``
+========  ====================  =============================================
+
+All protocol outcomes are HTTP 200 payloads (``lost``, ``stale``,
+``unknown-worker`` are states a healthy worker handles, not failures);
+400 is reserved for malformed requests and 404 for unknown routes/sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.httpd import JsonApp
+from repro.service.requests import ValidationError
+
+__all__ = ["CoordinatorApp"]
+
+Response = Tuple[int, Dict[str, object]]
+
+
+def _lease_fields(body: Optional[Dict[str, object]],
+                  need_error: bool = False) -> Tuple[str, str, int, str]:
+    """Extract ``(worker, sweep, point[, error])``, raising on defects."""
+    if body is None:
+        raise ValueError("a JSON body is required")
+    worker = body.get("worker")
+    sweep = body.get("sweep")
+    point = body.get("point")
+    if not isinstance(worker, str) or not worker:
+        raise ValueError("'worker' must be a worker id")
+    if not isinstance(sweep, str) or not sweep:
+        raise ValueError("'sweep' must be a sweep id")
+    if not isinstance(point, int) or isinstance(point, bool) or point < 0:
+        raise ValueError("'point' must be a non-negative integer")
+    error = body.get("error", "")
+    if need_error and not isinstance(error, str):
+        raise ValueError("'error' must be a string")
+    return worker, sweep, point, str(error)
+
+
+class CoordinatorApp(JsonApp):
+    """Routes for one :class:`Coordinator` (the app behind ``fabric-serve``)."""
+
+    def __init__(self, coordinator: Coordinator) -> None:
+        self.coordinator = coordinator
+
+    def handle(self, method: str, path: str,
+               body: Optional[Dict[str, object]]) -> Response:
+        try:
+            return self._route(method, path, body)
+        except ValidationError as error:
+            return 400, {"error": str(error)}
+        except ValueError as error:
+            return 400, {"error": str(error)}
+
+    def _route(self, method: str, path: str,
+               body: Optional[Dict[str, object]]) -> Response:
+        if path == "/" and method == "GET":
+            return 200, {"service": "repro-fabric",
+                         "lease_ttl": self.coordinator.lease_ttl,
+                         "max_attempts": self.coordinator.max_attempts,
+                         "sweeps": self.coordinator.sweeps()}
+        if path == "/health" and method == "GET":
+            return 200, {"ok": True}
+        if path == "/workers" and method == "POST":
+            meta = (body or {}).get("meta", {})
+            if not isinstance(meta, dict):
+                raise ValueError("'meta' must be an object")
+            return 201, {"worker": self.coordinator.register(meta)}
+        if path == "/sweeps" and method == "POST":
+            return 201, self.coordinator.submit(body)
+        if path == "/sweeps" and method == "GET":
+            return 200, {"sweeps": self.coordinator.sweeps()}
+        if path.startswith("/sweeps/") and method == "GET":
+            status = self.coordinator.sweep_status(path[len("/sweeps/"):])
+            if status is None:
+                return 404, {"error": f"no sweep at {path}"}
+            return 200, status
+        if path == "/claim" and method == "POST":
+            worker = (body or {}).get("worker")
+            if not isinstance(worker, str) or not worker:
+                raise ValueError("'worker' must be a worker id")
+            return 200, self.coordinator.claim(worker)
+        if path == "/heartbeat" and method == "POST":
+            worker, sweep, point, _ = _lease_fields(body)
+            return 200, self.coordinator.heartbeat(worker, sweep, point)
+        if path == "/complete" and method == "POST":
+            worker, sweep, point, _ = _lease_fields(body)
+            return 200, self.coordinator.complete(worker, sweep, point)
+        if path == "/fail" and method == "POST":
+            worker, sweep, point, error = _lease_fields(body, need_error=True)
+            return 200, self.coordinator.fail(worker, sweep, point, error)
+        return 404, {"error": f"no route for {method} {path}"}

@@ -1,0 +1,143 @@
+"""Minimal threaded JSON-over-HTTP server base for the fabric daemons.
+
+The experiment service (PR 6) is asyncio because its handlers await job
+state; the fabric's two daemons — store server and coordinator — are the
+opposite shape: short blocking handlers serialized by a file lock or a
+mutex. ``ThreadingHTTPServer`` fits that exactly and keeps each daemon a
+few dozen lines.
+
+An *app* is anything with ``handle(method, path, body) -> (status, payload)``
+and an optional ``max_body_bytes`` attribute. The server owns everything
+HTTP: request parsing, body-size limits, JSON encoding, and turning handler
+exceptions into 500s (which clients treat as retryable).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+__all__ = ["JsonApp", "JsonHttpServer"]
+
+Response = Tuple[int, Dict[str, object]]
+
+
+class JsonApp:
+    """Protocol stub: what :class:`JsonHttpServer` expects of an app."""
+
+    #: Largest request body accepted, in bytes.
+    max_body_bytes: int = 1 << 20
+
+    def handle(self, method: str, path: str,
+               body: Optional[Dict[str, object]]) -> Response:
+        raise NotImplementedError
+
+
+def _make_handler(app: JsonApp) -> type:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-fabric"
+
+        def log_message(self, format: str, *args: object) -> None:
+            pass  # daemons announce themselves once; per-request noise helps no one
+
+        def _respond(self, status: int, payload: Dict[str, object]) -> None:
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _read_body(self) -> Optional[Dict[str, object]]:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length == 0:
+                return None
+            if length > app.max_body_bytes:
+                raise _BodyError(
+                    f"request body too large ({length} bytes; limit "
+                    f"{app.max_body_bytes})")
+            raw = self.rfile.read(length)
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                raise _BodyError("request body is not valid JSON") from None
+            if not isinstance(payload, dict):
+                raise _BodyError("request body must be a JSON object")
+            return payload
+
+        def _dispatch(self, method: str) -> None:
+            try:
+                body = self._read_body()
+            except _BodyError as error:
+                self._respond(400, {"error": str(error)})
+                return
+            try:
+                status, payload = app.handle(method, self.path, body)
+            except Exception as error:  # noqa: BLE001 -- 500s are retryable
+                self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+                return
+            self._respond(status, payload)
+
+        def do_GET(self) -> None:
+            self._dispatch("GET")
+
+        def do_PUT(self) -> None:
+            self._dispatch("PUT")
+
+        def do_POST(self) -> None:
+            self._dispatch("POST")
+
+        def do_DELETE(self) -> None:
+            self._dispatch("DELETE")
+
+    return Handler
+
+
+class _BodyError(ValueError):
+    """A request body defect the handler reports as a 400."""
+
+
+class JsonHttpServer:
+    """A threaded HTTP server bound at construction (ephemeral port OK)."""
+
+    def __init__(self, app: JsonApp, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self._server = ThreadingHTTPServer((host, port), _make_handler(app))
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "JsonHttpServer":
+        """Serve on a daemon thread (tests and embedded use)."""
+        thread = threading.Thread(target=self._server.serve_forever,
+                                  name=f"fabric-httpd-{self.port}",
+                                  daemon=True)
+        thread.start()
+        self._thread = thread
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (CLI daemons)."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,130 @@
+"""A ``ResultsStore`` served over HTTP, with a never-fail client.
+
+:class:`RemoteStore` implements the store interface the executor consumes —
+``load``/``save``/``stats`` plus the ``write``/``served``/``executed``
+counters — against a ``repro-ssle store-serve`` daemon. Its contract is
+that *no store failure ever fails a sweep*:
+
+* ``load`` returns ``None`` (a plain cache miss) on any defect — server
+  unreachable after retries, 5xx, corrupt payload, digest mismatch — and
+  the executor recomputes, exactly as it would for a cold local store.
+* ``save`` swallows failures the same way: the trials were already computed
+  and returned to the caller; losing a write-back costs a future recompute,
+  never a result.
+
+Every degraded call increments ``degraded`` so tests and operators can see
+the difference between a healthy cold cache and a flapping server. The
+server performs the same never-shrink merge a local store does (it *is* a
+local store, behind :class:`repro.fabric.store_server.StoreApp`), so
+concurrent workers topping up one record over the wire keep the
+longest-prefix-wins guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.executor import TrialResult
+from repro.fabric.retry import RetryPolicy
+from repro.fabric.transport import (
+    TransportError,
+    parse_http_url,
+    request_json,
+)
+from repro.store.store import SCHEMA_VERSION, validate_trials
+
+__all__ = ["RemoteStore", "DEFAULT_STORE_PORT"]
+
+#: ``repro-ssle store-serve``'s default port (8642 belongs to ``serve``).
+DEFAULT_STORE_PORT = 8651
+
+
+class RemoteStore:
+    """Client half of the wire-served results store (drop-in for sweeps)."""
+
+    def __init__(self, url: str, write: bool = True,
+                 policy: Optional[RetryPolicy] = None) -> None:
+        self.url = url.rstrip("/")
+        self.host, self.port = parse_http_url(self.url, DEFAULT_STORE_PORT)
+        self.write = write
+        self.policy = policy or RetryPolicy()
+        #: Counters mirror :class:`ResultsStore` (maintained by the executor)
+        self.served = 0
+        self.executed = 0
+        #: Calls that fell back to local behavior because the server was
+        #: unreachable or unwell — the "how degraded was this run" signal.
+        self.degraded = 0
+
+    # ``root`` keeps log lines and ``stats()`` consumers uniform across
+    # local and remote stores.
+    @property
+    def root(self) -> str:
+        return self.url
+
+    def load(self, digest: str) -> Optional[List[TrialResult]]:
+        """The server's trials for ``digest``, or ``None`` (miss/degraded)."""
+        try:
+            status, payload = request_json(
+                self.host, self.port, "GET", f"/records/{digest}",
+                policy=self.policy)
+        except TransportError:
+            self.degraded += 1
+            return None
+        if status != 200:
+            if status >= 500:
+                self.degraded += 1
+            return None
+        record = payload.get("record")
+        if (not isinstance(record, dict)
+                or record.get("schema") != SCHEMA_VERSION
+                or record.get("digest") != digest):
+            return None
+        return validate_trials(record.get("trials"))
+
+    def save(self, digest: str, meta: Dict[str, object],
+             trials: Sequence[TrialResult]) -> None:
+        """Push one batch record; the server merges never-shrink.
+
+        Failures are absorbed (counted in ``degraded``): a lost write-back
+        is a future recompute, not an error the sweep should see.
+        """
+        if not self.write:
+            return
+        body = {
+            "meta": _jsonable_meta(meta),
+            "trials": [trial.to_dict() for trial in trials],
+        }
+        try:
+            status, _ = request_json(
+                self.host, self.port, "PUT", f"/records/{digest}", body,
+                policy=self.policy)
+        except TransportError:
+            self.degraded += 1
+            return
+        if status != 200:
+            self.degraded += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Reuse counters plus the server location (JSON-ready)."""
+        return {
+            "root": self.url,
+            "write": self.write,
+            "served": self.served,
+            "executed": self.executed,
+            "degraded": self.degraded,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RemoteStore(url={self.url!r}, write={self.write})"
+
+
+def _jsonable_meta(meta: Dict[str, object]) -> Dict[str, object]:
+    """Meta restricted to what JSON can carry (tuples become lists)."""
+    return json.loads(json.dumps(meta, default=_tuples_as_lists))
+
+
+def _tuples_as_lists(value: object) -> object:
+    if isinstance(value, tuple):  # pragma: no cover - json handles tuples
+        return list(value)
+    raise TypeError(f"meta value {value!r} is not JSON-serializable")

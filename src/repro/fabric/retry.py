@@ -1,0 +1,107 @@
+"""Bounded retry with exponential backoff and jitter — the fabric's one policy.
+
+Every remote call the fabric makes (store reads/writes, coordinator claims,
+service submissions) goes through the same policy: a fixed number of
+attempts, exponentially growing delays capped at ``max_delay``, a per-attempt
+timeout, and multiplicative jitter so a fleet of workers retrying the same
+dead server does not stampede it in lockstep.
+
+The policy is deliberately *not* part of any experiment's identity: jitter
+draws from a module-local RNG that never touches the seed-derivation chains,
+and no retry decision can change what a trial computes — only whether a
+network call is attempted again.
+"""
+
+from __future__ import annotations
+
+import random  # repro: allow[REP002] -- jitter only; never feeds trial seeds
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+T = TypeVar("T")
+
+#: Jitter source. Isolated from ``repro.core.rng`` on purpose: backoff delays
+#: must never be reproducible state, and reseeding experiments must never
+#: perturb them.
+_jitter_rng = random.Random()  # repro: allow[REP002]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try a remote call, and how long to wait in between.
+
+    ``retries`` counts *additional* attempts after the first, so
+    ``retries=0`` means exactly one attempt (the opt-out). ``timeout`` is
+    the per-attempt socket timeout callers should apply to each try, not a
+    total budget.
+    """
+
+    retries: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    timeout: float = 10.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    @property
+    def attempts(self) -> int:
+        """Total attempts, first try included."""
+        return self.retries + 1
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based), jittered.
+
+        The deterministic envelope is ``base_delay * 2**(attempt-1)`` capped
+        at ``max_delay``; jitter shrinks each delay by up to ``jitter``
+        (multiplicatively), which de-synchronizes retrying workers without
+        ever exceeding the envelope.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if self.jitter:
+            delay *= 1.0 - self.jitter * _jitter_rng.random()
+        return delay
+
+
+def call_with_retry(
+    operation: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Run ``operation`` under ``policy``, re-raising the final failure.
+
+    Only exceptions in ``retry_on`` are retried; anything else propagates
+    immediately. After the last attempt the *original* exception is
+    re-raised unwrapped, so callers' existing ``except`` clauses keep
+    working. ``on_retry(attempt, error)`` fires before each backoff sleep —
+    use it for diagnostics, not control flow.
+    """
+    last_error: Optional[BaseException] = None
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return operation()
+        except retry_on as error:
+            last_error = error
+            if attempt >= policy.attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(policy.backoff(attempt))
+    assert last_error is not None
+    raise last_error

@@ -1,0 +1,85 @@
+"""The wire side of the results store: GET/PUT records by digest.
+
+``repro-ssle store-serve`` wraps a plain on-disk :class:`ResultsStore` in
+the fabric's threaded JSON server. The protocol is two routes:
+
+* ``GET /records/{digest}`` — the full record JSON (the same document the
+  disk holds), or 404 on miss/corruption. Clients re-validate; the server
+  never vouches for trial contents beyond what the local store would.
+* ``PUT /records/{digest}`` — ``{"meta": {...}, "trials": [...]}``. The
+  body's trials are validated with the *store's own* validator (contiguous
+  indices, typed fields) before touching disk, and the write goes through
+  :meth:`ResultsStore.save` — so the never-shrink merge, the per-record
+  flock, and the atomic replace all apply server-side, and two workers
+  racing to top up one record resolve exactly as two local processes would.
+
+Plus ``GET /`` (identity/summary) and ``GET /health`` for probes. The
+server holds no state outside the store directory: kill it, restart it,
+point it at the same root, and nothing is lost.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.fabric.httpd import JsonApp
+from repro.store.store import ResultsStore, validate_trials
+
+__all__ = ["StoreApp"]
+
+_DIGEST = re.compile(r"[0-9a-f]{32}")
+
+#: Record bodies carry whole trial batches; give them far more headroom
+#: than control-plane messages get.
+_MAX_RECORD_BYTES = 64 << 20
+
+
+class StoreApp(JsonApp):
+    """Routes for one :class:`ResultsStore` (the app behind ``store-serve``)."""
+
+    max_body_bytes = _MAX_RECORD_BYTES
+
+    def __init__(self, store: ResultsStore) -> None:
+        self.store = store
+
+    def handle(self, method: str, path: str,
+               body: Optional[Dict[str, object]],
+               ) -> Tuple[int, Dict[str, object]]:
+        if path == "/" and method == "GET":
+            return 200, {"service": "repro-store", **self.store.summary()}
+        if path == "/health" and method == "GET":
+            return 200, {"ok": True}
+        if path.startswith("/records/"):
+            digest = path[len("/records/"):]
+            if not _DIGEST.fullmatch(digest):
+                return 400, {"error": f"malformed digest {digest!r}"}
+            if method == "GET":
+                return self._get_record(digest)
+            if method == "PUT":
+                return self._put_record(digest, body)
+            return 405, {"error": f"{method} not allowed on {path}"}
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _get_record(self, digest: str) -> Tuple[int, Dict[str, object]]:
+        record = self.store.record(digest)
+        if record is None or validate_trials(record.get("trials")) is None:
+            return 404, {"error": f"no record for digest {digest}"}
+        return 200, {"record": record}
+
+    def _put_record(self, digest: str, body: Optional[Dict[str, object]],
+                    ) -> Tuple[int, Dict[str, object]]:
+        if not self.store.write:
+            return 403, {"error": "store is read-only (--no-store-write)"}
+        if body is None:
+            return 400, {"error": "PUT /records requires a JSON body"}
+        meta = body.get("meta")
+        if not isinstance(meta, dict):
+            return 400, {"error": "'meta' must be an object"}
+        trials = validate_trials(body.get("trials"))
+        if trials is None:
+            return 400, {"error": "'trials' failed validation (must be a "
+                                  "contiguous, fully-typed trial list)"}
+        self.store.save(digest, meta, trials)
+        stored = self.store.load(digest)
+        return 200, {"stored": len(stored) if stored is not None else 0}

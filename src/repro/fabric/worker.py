@@ -1,0 +1,161 @@
+"""The worker loop: claim a point, heartbeat, execute, report, repeat.
+
+``repro-ssle work`` runs this against a coordinator (and, in any real
+deployment, a shared store — without one, each worker's results die with
+its process and reclaimed points recompute from scratch). The loop is
+deliberately crash-silent: a worker that dies mid-point performs *no*
+cleanup, because none is needed — its lease expires, the coordinator hands
+the point to someone else, and the store's never-shrink merge absorbs any
+partial write-back the dying worker managed.
+
+Determinism: the worker rebuilds each point's :class:`JobRequest` from the
+coordinator's payload — the same payload shape the experiment service
+round-trips — and derives trial tasks with :func:`batch_tasks`, so its
+seeds are exactly those a serial single-machine sweep derives for that
+(spec, n, config). Which worker runs a point, how many times it is
+retried, and in what order points finish cannot change a single bit of the
+reassembled sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.api.executor import batch_tasks, run_trials
+from repro.fabric.client import FabricClient, FabricError
+from repro.fabric.retry import RetryPolicy, call_with_retry
+from repro.fabric.transport import TransportError
+from repro.service.requests import JobRequest
+
+__all__ = ["work_loop"]
+
+Announce = Callable[[str], None]
+
+
+def _heartbeat_loop(client: FabricClient, worker_id: str, sweep_id: str,
+                    index: int, interval: float,
+                    stop: threading.Event) -> None:
+    """Keep the lease alive while the point executes (daemon thread).
+
+    Transport errors are swallowed — a missed heartbeat at worst lets the
+    lease lapse, and the coordinator tolerates the resulting double
+    execution by design. A ``lost`` answer also just stops the beats: the
+    executing thread finishes and reports ``complete`` regardless.
+    """
+    while not stop.wait(interval):
+        try:
+            answer = client.heartbeat(worker_id, sweep_id, index)
+        except (TransportError, FabricError):
+            continue
+        if answer.get("status") == "lost":
+            return
+
+
+def work_loop(coordinator: str,
+              store=None,
+              workers: Optional[int] = None,
+              poll: float = 0.5,
+              drain: bool = False,
+              max_points: Optional[int] = None,
+              announce: Optional[Announce] = None,
+              policy: Optional[RetryPolicy] = None) -> Dict[str, object]:
+    """Serve a coordinator until idle (``drain``) or forever; returns stats.
+
+    ``store`` is any results-store implementation (local
+    :class:`ResultsStore` or :class:`RemoteStore`); ``workers`` sizes the
+    per-point process pool (``None`` = in-process). ``drain=True`` exits
+    when the coordinator reports no runnable sweeps — the CI/batch mode;
+    without it the loop polls forever — the daemon mode. ``max_points``
+    bounds how many points this worker executes (tests).
+    """
+    client = FabricClient(coordinator, policy=policy)
+    say = announce or (lambda message: None)
+
+    def register() -> str:
+        worker_id = call_with_retry(
+            lambda: client.register({"workers": workers or 0}),
+            policy=client.policy, retry_on=(TransportError,))
+        say(f"worker {worker_id} serving {coordinator}")
+        return worker_id
+
+    worker_id = register()
+    stats: Dict[str, object] = {"worker": worker_id, "points": 0,
+                                "failures": 0, "stale": 0}
+    while True:
+        if max_points is not None and stats["points"] >= max_points:
+            return stats
+        try:
+            claim = client.claim(worker_id)
+        except TransportError:
+            # Coordinator gone. In drain mode that ends the engagement; a
+            # daemon keeps polling — coordinators are disposable and a new
+            # one may take over the same address.
+            if drain:
+                return stats
+            time.sleep(poll)
+            continue
+        status = claim.get("status")
+        if status == "unknown-worker":
+            # The coordinator restarted and lost our registration (its
+            # only non-reconstructible state). Re-register and carry on.
+            worker_id = register()
+            stats["worker"] = worker_id
+            continue
+        if status == "idle":
+            if drain:
+                return stats
+            time.sleep(poll)
+            continue
+        if status == "wait":
+            retry_after = claim.get("retry_after")
+            delay = retry_after if isinstance(retry_after, (int, float)) else poll
+            time.sleep(max(0.05, min(float(delay), poll)))
+            continue
+        if status != "work":
+            time.sleep(poll)
+            continue
+
+        sweep_id = str(claim["sweep"])
+        index = int(claim["point"])  # type: ignore[arg-type]
+        lease_ttl = float(claim.get("lease_ttl") or 15.0)  # type: ignore[arg-type]
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(client, worker_id, sweep_id, index,
+                  max(0.2, lease_ttl / 3.0), stop),
+            name=f"heartbeat-{sweep_id}-{index}", daemon=True)
+        beat.start()
+        try:
+            request = JobRequest.from_payload(claim["payload"])
+            (batch,) = request.batch_requests()
+            tasks = batch_tasks(batch)
+            say(f"worker {worker_id} executing {sweep_id} point {index} "
+                f"({batch.spec_name} n={batch.population_size}, "
+                f"{len(tasks)} trials)")
+            run_trials(tasks, workers=workers, store=store)
+        except Exception as error:  # noqa: BLE001 -- reported, never fatal
+            stop.set()
+            beat.join(timeout=2.0)
+            stats["failures"] = int(stats["failures"]) + 1
+            say(f"worker {worker_id} failed {sweep_id} point {index}: {error}")
+            try:
+                client.fail(worker_id, sweep_id, index,
+                            f"{type(error).__name__}: {error}")
+            except (TransportError, FabricError):
+                pass  # the lease will expire on its own
+            continue
+        stop.set()
+        beat.join(timeout=2.0)
+        stats["points"] = int(stats["points"]) + 1
+        try:
+            answer = client.complete(worker_id, sweep_id, index)
+            if answer.get("status") == "stale":
+                stats["stale"] = int(stats["stale"]) + 1
+        except (TransportError, FabricError):
+            # The trials are safe in the store; if this message is lost the
+            # lease expires and whoever re-runs the point is served from
+            # cache in milliseconds.
+            pass
+        say(f"worker {worker_id} completed {sweep_id} point {index}")

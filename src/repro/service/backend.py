@@ -26,6 +26,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.api.executor import (
     OnResult,
     TrialResult,
@@ -44,6 +46,9 @@ class WarmPool:
         #: Worker processes; 0 = inline serial execution (no pool at all).
         self.workers = (os.cpu_count() or 1) if workers is None else workers
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: Pools rebuilt after a :class:`BrokenProcessPool` (observability:
+        #: a climbing count means worker processes keep dying under jobs).
+        self.rebuilds = 0
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
@@ -70,6 +75,20 @@ class WarmPool:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
+    def rebuild(self) -> None:
+        """Replace a broken pool with a fresh one (counted in ``rebuilds``).
+
+        A dead worker process poisons the whole executor — every later
+        submission raises :class:`BrokenProcessPool` — so the only recovery
+        is a new pool.  The fresh workers' encoder caches start cold; the
+        first job per batch re-warms them.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.rebuilds += 1
+        self.warm()
+
     def __enter__(self) -> "WarmPool":
         return self.warm()
 
@@ -86,9 +105,32 @@ class WarmPool:
         Exactly :func:`run_trials` — store-first, bit-identical, per-trial
         ``on_result`` progress — with the warm pool substituted for a
         per-invocation one.
+
+        A :class:`BrokenProcessPool` (a worker process died under us) is
+        survived once: the pool is rebuilt and the point re-runs — with a
+        store, the re-run's already-finished batches are served from the
+        write-backs the executor made before re-raising, so only the
+        genuinely in-flight trials recompute.  A second break fails the
+        point with a diagnostic instead of hanging or looping.  Note
+        ``on_result`` may fire again for trials the re-run serves or
+        recomputes — progress counters are best-effort across a rebuild.
         """
-        return run_trials(tasks, store=store, on_result=on_result,
-                          pool=self.pool)
+        try:
+            return run_trials(tasks, store=store, on_result=on_result,
+                              pool=self.pool)
+        except BrokenProcessPool:
+            self.rebuild()
+        try:
+            return run_trials(tasks, store=store, on_result=on_result,
+                              pool=self.pool)
+        except BrokenProcessPool as error:
+            raise RuntimeError(
+                "process pool broke twice while executing a point "
+                f"({len(tasks)} trials); a worker process is dying "
+                "repeatedly — likely killed by the OS (OOM) or crashing "
+                "on a specific trial. The pool was rebuilt once "
+                f"(rebuilds={self.rebuilds}); giving up on this point."
+            ) from error
 
     async def run_point_async(self, tasks: Sequence[TrialTask], store=None,
                               on_result: Optional[OnResult] = None,

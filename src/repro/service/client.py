@@ -6,6 +6,16 @@ that polls a job to a terminal state.  Built on :mod:`http.client` only, so
 scripts (and ``examples/service_client.py``) need nothing beyond the
 standard library; each call opens one short-lived connection, matching the
 server's one-request-per-connection design.
+
+Transport faults ride the fabric's bounded retry/backoff/jitter policy
+(:mod:`repro.fabric.retry`): connection errors and 5xx responses retry
+``retries`` times before surfacing, so a service restarting under a
+supervisor or briefly overloaded does not fail scripts. ``retries=0`` opts
+out (single attempt, pre-fabric behavior). Note the one caveat of retrying
+``submit``: if the *response* to a successful POST is lost, the retry
+submits a second identical job — harmless for experiment jobs (the store
+serves the duplicate's trials), but scripts that must not double-submit
+should pass ``retries=0`` and handle errors themselves.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ import time
 from typing import Dict, List, Optional
 from urllib.parse import quote, urlsplit
 
+from repro.fabric.retry import RetryPolicy
 from repro.service.jobs import JobState
 
 
@@ -32,7 +43,7 @@ class ServiceClient:
     """Method-per-endpoint client for one experiment service."""
 
     def __init__(self, base_url: str = "http://127.0.0.1:8642",
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0, retries: int = 3) -> None:
         url = urlsplit(base_url if "//" in base_url else f"//{base_url}",
                        scheme="http")
         if url.scheme != "http" or not url.hostname:
@@ -41,6 +52,7 @@ class ServiceClient:
         self.host = url.hostname
         self.port = url.port or 8642
         self.timeout = timeout
+        self.policy = RetryPolicy(retries=retries, timeout=timeout)
 
     # ------------------------------------------------------------------ #
     # Endpoints
@@ -96,12 +108,11 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def _request(self, method: str, path: str, body=None):
+    def _attempt(self, method: str, path: str, encoded: Optional[bytes]):
+        """One connection, one exchange: ``(status, payload)`` or raises."""
         connection = http.client.HTTPConnection(self.host, self.port,
-                                                timeout=self.timeout)
+                                                timeout=self.policy.timeout)
         try:
-            encoded = (json.dumps(body).encode("utf-8")
-                       if body is not None else None)
             headers = ({"Content-Type": "application/json"}
                        if encoded is not None else {})
             connection.request(method, path, body=encoded, headers=headers)
@@ -113,6 +124,34 @@ class ServiceClient:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
             payload = {"error": raw.decode("utf-8", "replace")}
-        if response.status >= 400:
-            raise ServiceError(response.status, payload)
+        return response.status, payload
+
+    def _request(self, method: str, path: str, body=None):
+        """The exchange under the retry policy.
+
+        Connection-level failures and 5xx responses retry with backoff;
+        after exhaustion the original exception (or the final
+        :class:`ServiceError`) surfaces unchanged, so pre-retry ``except``
+        clauses keep working.  4xx responses never retry — they mean the
+        request itself is wrong.
+        """
+        encoded = (json.dumps(body).encode("utf-8")
+                   if body is not None else None)
+        last_error: Optional[Exception] = None
+        status, payload = 0, {}
+        for attempt in range(1, self.policy.attempts + 1):
+            try:
+                status, payload = self._attempt(method, path, encoded)
+            except (OSError, http.client.HTTPException) as error:
+                last_error = error
+            else:
+                last_error = None
+                if status < 500:
+                    break
+            if attempt < self.policy.attempts:
+                time.sleep(self.policy.backoff(attempt))
+        if last_error is not None:
+            raise last_error
+        if status >= 400:
+            raise ServiceError(status, payload)
         return payload

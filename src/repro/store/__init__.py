@@ -18,6 +18,7 @@ from repro.store.store import (
     batch_digest,
     canonical_config,
     resolve_store,
+    validate_trials,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "batch_digest",
     "canonical_config",
     "resolve_store",
+    "validate_trials",
 ]

@@ -154,9 +154,18 @@ class ResultsStore:
     reuse gate — can assert how much work a run actually did.
     """
 
-    def __init__(self, root: "str | os.PathLike", write: bool = True) -> None:
+    #: How long :meth:`save` waits for a record's advisory lock before
+    #: falling back to the unlocked verify-and-retry path (seconds). A
+    #: writer that died holding the lock — SIGKILL mid-write-back — must
+    #: not wedge every later writer of that record forever.
+    DEFAULT_LOCK_TIMEOUT = 10.0
+
+    def __init__(self, root: "str | os.PathLike", write: bool = True,
+                 lock_timeout: Optional[float] = None) -> None:
         self.root = Path(root)
         self.write = write
+        self.lock_timeout = (self.DEFAULT_LOCK_TIMEOUT
+                             if lock_timeout is None else lock_timeout)
         #: Trials served from cached records during this process's runs.
         self.served = 0
         #: Trials actually executed (cache misses and top-ups).
@@ -182,10 +191,19 @@ class ResultsStore:
         ``0..m-1`` — the validated invariant that makes partial top-ups
         (extend a stored batch by running only the missing tail) sound.
         """
+        record = self.record(digest)
+        if record is None:
+            return None
+        return validate_trials(record.get("trials"))
+
+    def record(self, digest: str) -> Optional[Dict[str, object]]:
+        """The raw record document for ``digest`` (schema- and digest-checked),
+        or ``None`` on miss/corruption.  What the fabric's store server puts
+        on the wire; :meth:`load` is this plus trial validation."""
         record = self._read_record(self.record_path(digest))
         if record is None or record.get("digest") != digest:
             return None
-        return _validate_trials(record.get("trials"))
+        return record
 
     @contextmanager
     def _record_lock(self, path: Path):
@@ -194,20 +212,37 @@ class ResultsStore:
         Concurrent top-ups of the same record group (two sweeps, two service
         jobs) each merge cache-plus-fresh snapshots that may lag each other;
         the lock makes the read-compare-replace in :meth:`save` atomic so
-        the longer record always survives.  Without ``fcntl`` the
-        compare-before-replace still runs — only the (tiny) read/replace
-        race window remains.
+        the longer record always survives.
+
+        Yields whether the lock was actually acquired.  The wait is
+        *bounded* by ``lock_timeout``: a writer that died holding the lock
+        (kill -9 mid-write-back leaves the flock held until its process is
+        reaped — or forever, if the handle leaked to a live descendant)
+        must not wedge every later writer.  On timeout — or without
+        ``fcntl`` at all — the caller proceeds unlocked and compensates
+        with read-compare-retry (see :meth:`_replace_record`).
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
-            yield
+            yield False
             return
         lock_path = path.parent / f".{path.stem}.lock"
         with open(lock_path, "w") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
+            deadline = time.monotonic() + max(0.0, self.lock_timeout)
+            locked = False
+            while True:
+                try:
+                    fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    locked = True
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        break
+                    time.sleep(min(0.05, self.lock_timeout or 0.05))
             try:
-                yield
+                yield locked
             finally:
-                fcntl.flock(handle, fcntl.LOCK_UN)
+                if locked:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
 
     def save(self, digest: str, meta: Dict[str, object],
              trials: Sequence[TrialResult]) -> None:
@@ -217,22 +252,50 @@ class ResultsStore:
         existing record holding at least as many trials wins and the save
         is skipped — sound because every record of one digest is a prefix
         of the same deterministic trial sequence, so the longer of two
-        concurrent write-backs is a superset of the shorter.
+        concurrent write-backs is a superset of the shorter.  When the lock
+        cannot be acquired within ``lock_timeout`` (a writer died holding
+        it), the save proceeds unlocked and re-verifies after publishing —
+        see :meth:`_replace_record`.
         """
         if not self.write:
             return
         path = self.record_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with self._record_lock(path):
-            self._replace_record(digest, meta, trials, path)
+        with self._record_lock(path) as locked:
+            self._replace_record(digest, meta, trials, path, locked=locked)
+
+    #: Unlocked publishes re-verify this many times before conceding the
+    #: race (the record stays valid either way — at worst shorter, which a
+    #: future run tops up).
+    _UNLOCKED_RETRIES = 3
 
     def _replace_record(self, digest: str, meta: Dict[str, object],
-                        trials: Sequence[TrialResult], path: Path) -> None:
+                        trials: Sequence[TrialResult], path: Path,
+                        locked: bool = True) -> None:
         existing = self._read_record(path)
         if existing is not None and existing.get("digest") == digest:
-            current = _validate_trials(existing.get("trials"))
+            current = validate_trials(existing.get("trials"))
             if current is not None and len(current) >= len(trials):
                 return
+        self._publish_record(digest, meta, trials, path)
+        if locked:
+            return
+        # Unlocked fallback: without the flock, a concurrent writer may
+        # replace our freshly-published record with a *shorter* one (its
+        # read-compare predates our publish).  Read-compare-retry restores
+        # never-shrink: all records of one digest are prefixes of the same
+        # deterministic sequence, so republishing the longer is always safe.
+        for _ in range(self._UNLOCKED_RETRIES):
+            published = self._read_record(path)
+            current = (validate_trials(published.get("trials"))
+                       if published is not None
+                       and published.get("digest") == digest else None)
+            if current is not None and len(current) >= len(trials):
+                return
+            self._publish_record(digest, meta, trials, path)
+
+    def _publish_record(self, digest: str, meta: Dict[str, object],
+                        trials: Sequence[TrialResult], path: Path) -> None:
         record = {
             "schema": SCHEMA_VERSION,
             "digest": digest,
@@ -281,7 +344,7 @@ class ResultsStore:
         for digest in self.record_digests():
             path = self.record_path(digest)
             record = self._read_record(path)
-            trials = (_validate_trials(record.get("trials"))
+            trials = (validate_trials(record.get("trials"))
                       if record is not None and record.get("digest") == digest
                       else None)
             try:
@@ -328,7 +391,7 @@ class ResultsStore:
         if record is None:
             return {"digest": matches[0], "corrupt": True}
         record.setdefault("corrupt",
-                          _validate_trials(record.get("trials")) is None)
+                          validate_trials(record.get("trials")) is None)
         return record
 
     def clear(self, digest_prefix: str = "",
@@ -440,7 +503,7 @@ class ResultsStore:
         return record
 
 
-def _validate_trials(raw: object) -> Optional[List[TrialResult]]:
+def validate_trials(raw: object) -> Optional[List[TrialResult]]:
     """Rebuild a record's trial list, or ``None`` when anything is off.
 
     Checks every field's presence and type and that the trial indices form
@@ -498,13 +561,27 @@ def _validate_phases(raw: object) -> Optional[Tuple[PhaseResult, ...]]:
 
 
 def resolve_store(path: "str | os.PathLike | None" = None,
-                  write: bool = True) -> Optional[ResultsStore]:
+                  write: bool = True):
     """The store an explicit ``path`` or the environment selects (else ``None``).
 
     The precedence every entry point shares: an explicit path wins, the
     :data:`ENV_VAR` environment variable is the fallback, and with neither
     set the store is off and behavior is exactly pre-store.
+
+    A value starting with ``http://`` — from either source — selects a
+    :class:`repro.fabric.remote.RemoteStore` speaking to a
+    ``repro-ssle store-serve`` daemon instead of a local directory, so
+    every ``--store`` flag and the :data:`ENV_VAR` variable accept a URL
+    transparently.  (``https://`` is rejected by the fabric transport with
+    an explanation; a lab fabric speaks plain http.)
     """
-    if path is not None and str(path).strip():
-        return ResultsStore(path, write=write)
-    return ResultsStore.from_env(write=write)
+    selected = str(path).strip() if path is not None else ""
+    if not selected:
+        selected = os.environ.get(ENV_VAR, "").strip()
+    if not selected:
+        return None
+    if selected.startswith(("http://", "https://")):
+        from repro.fabric.remote import RemoteStore  # lazy: avoids a cycle
+
+        return RemoteStore(selected, write=write)
+    return ResultsStore(selected, write=write)

@@ -1,0 +1,103 @@
+"""run_trials survives a dying worker process: rebuild once, then diagnose.
+
+The fault is injected *inside* the pool: ``_execute_light`` is swapped for
+a wrapper that SIGKILLs its own worker process (exactly once, via an
+O_EXCL flag file, or on every attempt for the give-up tests). Under the
+fork start method the pool's children inherit the patched module state, so
+no cooperation from the real executor is needed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.api import BatchRequest, ExperimentConfig
+from repro.api.executor import batch_tasks, run_trials
+import repro.api.executor as executor
+from repro.store import ResultsStore
+
+pytestmark = pytest.mark.skipif(
+    executor._pool_context() is None
+    or executor._pool_context().get_start_method() != "fork",
+    reason="fault injection relies on fork inheriting the patched executor")
+
+CONFIG = ExperimentConfig(trials=6, max_steps=2_000_000, seed=17)
+
+_REAL_EXECUTE = executor._execute_light
+
+#: Seen by forked pool workers (fork copies module globals at pool start).
+_KILL_FLAG: dict = {"path": None, "always": False}
+
+
+def _suicidal_execute(item):
+    """Kill this worker process once (flagged) or always, else run the trial."""
+    if _KILL_FLAG["always"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    path = _KILL_FLAG["path"]
+    if path is not None:
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL)
+        except FileExistsError:
+            pass
+        else:
+            os.close(handle)
+            os.kill(os.getpid(), signal.SIGKILL)
+    return _REAL_EXECUTE(item)
+
+
+@pytest.fixture
+def sabotage(monkeypatch, tmp_path):
+    """Arm the injector; returns the flag path for 'exactly one kill' mode."""
+    monkeypatch.setattr(executor, "_execute_light", _suicidal_execute)
+    flag = tmp_path / "killed-once"
+    _KILL_FLAG["path"] = str(flag)
+    _KILL_FLAG["always"] = False
+    yield flag
+    _KILL_FLAG["path"] = None
+    _KILL_FLAG["always"] = False
+
+
+def _tasks():
+    return batch_tasks(BatchRequest(spec_name="angluin-modk",
+                                    population_size=5, config=CONFIG))
+
+
+def test_owned_pool_rebuilds_once_and_matches_serial(sabotage):
+    serial = run_trials(_tasks())
+    results = run_trials(_tasks(), workers=2)
+    assert sabotage.exists(), "the injector never fired"
+    assert [r.steps for r in results] == [r.steps for r in serial]
+    assert [r.trial for r in results] == list(range(len(serial)))
+
+
+def test_store_backed_rebuild_keeps_the_record_complete(sabotage, tmp_path):
+    serial = run_trials(_tasks())
+    store = ResultsStore(tmp_path / "results")
+    results = run_trials(_tasks(), workers=2, store=store)
+    assert sabotage.exists()
+    assert [r.steps for r in results] == [r.steps for r in serial]
+    # The record holds the full batch: partial write-backs made at the
+    # break were topped up by the rebuilt pool's re-run.
+    warm = ResultsStore(tmp_path / "results")
+    again = run_trials(_tasks(), store=warm)
+    assert warm.served == len(serial) and warm.executed == 0
+    assert [r.steps for r in again] == [r.steps for r in serial]
+
+
+def test_second_break_raises_a_diagnostic(sabotage):
+    _KILL_FLAG["path"] = None
+    _KILL_FLAG["always"] = True
+    with pytest.raises(RuntimeError, match="broke twice.*workers=1"):
+        run_trials(_tasks(), workers=2)
+
+
+def test_second_break_with_store_raises_and_preserves_prefixes(sabotage,
+                                                               tmp_path):
+    _KILL_FLAG["path"] = None
+    _KILL_FLAG["always"] = True
+    store = ResultsStore(tmp_path / "results")
+    with pytest.raises(RuntimeError, match="broke twice"):
+        run_trials(_tasks(), workers=2, store=store)

@@ -1,0 +1,13 @@
+"""Fixtures for the fabric suite (helpers live in ``fabric_helpers``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from fabric_helpers import fast_policy_factory
+from repro.fabric.retry import RetryPolicy
+
+
+@pytest.fixture
+def fast_policy() -> RetryPolicy:
+    return fast_policy_factory()

@@ -1,0 +1,134 @@
+"""The retry policy: backoff envelope, jitter bounds, and call semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.retry import RetryPolicy, call_with_retry
+
+
+class TestBackoffEnvelope:
+    def test_jitterless_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(retries=6, base_delay=0.1, max_delay=1.0,
+                             jitter=0.0)
+        delays = [policy.backoff(attempt) for attempt in range(1, 7)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_jitter_only_shrinks_within_bounds(self):
+        policy = RetryPolicy(retries=4, base_delay=0.1, max_delay=1.0,
+                             jitter=0.5)
+        envelope = RetryPolicy(retries=4, base_delay=0.1, max_delay=1.0,
+                               jitter=0.0)
+        for attempt in range(1, 5):
+            ceiling = envelope.backoff(attempt)
+            for _ in range(50):
+                delay = policy.backoff(attempt)
+                # jitter is multiplicative in [1 - jitter, 1]
+                assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_attempts_counts_first_try(self):
+        assert RetryPolicy(retries=0).attempts == 1
+        assert RetryPolicy(retries=4).attempts == 5
+
+    def test_backoff_rejects_attempt_zero(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"retries": -1},
+        {"base_delay": -0.1},
+        {"max_delay": -1.0},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+        {"timeout": 0.0},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCallWithRetry:
+    def test_success_after_transient_failures(self):
+        calls = []
+
+        def operation():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        slept = []
+        result = call_with_retry(operation,
+                                 policy=RetryPolicy(retries=3, jitter=0.0,
+                                                    base_delay=0.01),
+                                 sleep=slept.append)
+        assert result == "ok"
+        assert len(calls) == 3
+        assert slept == [0.01, 0.02]
+
+    def test_exhaustion_reraises_the_original_error(self):
+        original = OSError("still down")
+
+        def operation():
+            raise original
+
+        with pytest.raises(OSError) as excinfo:
+            call_with_retry(operation,
+                            policy=RetryPolicy(retries=2, base_delay=0.0),
+                            sleep=lambda _s: None)
+        assert excinfo.value is original
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def operation():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            call_with_retry(operation,
+                            policy=RetryPolicy(retries=5, base_delay=0.0),
+                            sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_retries_zero_is_a_single_attempt(self):
+        calls = []
+
+        def operation():
+            calls.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            call_with_retry(operation, policy=RetryPolicy(retries=0),
+                            sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_observes_each_backoff(self):
+        seen = []
+
+        def operation():
+            raise OSError(f"try {len(seen)}")
+
+        with pytest.raises(OSError):
+            call_with_retry(operation,
+                            policy=RetryPolicy(retries=2, base_delay=0.0),
+                            sleep=lambda _s: None,
+                            on_retry=lambda attempt, error: seen.append(
+                                (attempt, str(error))))
+        # Fires before each sleep, so exhaustion's final failure is not listed.
+        assert seen == [(1, "try 0"), (2, "try 1")]
+
+    def test_custom_retry_on_tuple(self):
+        calls = []
+
+        def operation():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ValueError("retry me")
+            return 42
+
+        result = call_with_retry(operation,
+                                 policy=RetryPolicy(retries=1, base_delay=0.0),
+                                 retry_on=(ValueError,),
+                                 sleep=lambda _s: None)
+        assert result == 42

@@ -1,0 +1,168 @@
+"""The wire-served store: server endpoints, never-shrink merge, degradation.
+
+The contract under test: a ``RemoteStore`` pointed at a healthy
+``store-serve`` daemon is indistinguishable from a local ``ResultsStore``,
+and pointed at a broken/absent/read-only one it degrades to
+recompute-on-miss — a sweep never fails because the store did.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from fabric_helpers import META, make_trials
+from repro.api import ExperimentConfig, run_spec
+from repro.fabric.httpd import JsonHttpServer
+from repro.fabric.remote import RemoteStore
+from repro.fabric.store_server import StoreApp
+from repro.fabric.transport import request_json
+from repro.store import ResultsStore, batch_digest
+
+DIGEST = "ab" * 16  # well-formed 32-hex digest
+
+
+@pytest.fixture
+def served_store(tmp_path, fast_policy):
+    """A live store server plus a RemoteStore client and the backing store."""
+    backing = ResultsStore(tmp_path)
+    server = JsonHttpServer(StoreApp(backing)).start()
+    client = RemoteStore(server.url, policy=fast_policy)
+    yield backing, server, client
+    server.close()
+
+
+def request(server, method, path, body=None):
+    return request_json(server.host, server.port, method, path, body,
+                        sleep=lambda _s: None)
+
+
+# ---------------------------------------------------------------------- #
+# Endpoints
+# ---------------------------------------------------------------------- #
+def test_round_trip_over_the_wire(served_store):
+    backing, _server, client = served_store
+    trials = make_trials(3)
+    client.save(DIGEST, META, trials)
+    assert client.degraded == 0
+    assert backing.load(DIGEST) == trials     # landed in the backing store
+    assert client.load(DIGEST) == trials      # and serves back over HTTP
+
+
+def test_server_merges_never_shrink(served_store):
+    backing, _server, client = served_store
+    client.save(DIGEST, META, make_trials(3))
+    client.save(DIGEST, META, make_trials(2))  # shorter prefix: ignored
+    assert len(backing.load(DIGEST)) == 3
+    client.save(DIGEST, META, make_trials(5))  # longer prefix: replaces
+    assert len(client.load(DIGEST)) == 5
+
+
+def test_miss_is_404_and_none(served_store):
+    _backing, server, client = served_store
+    status, _ = request(server, "GET", f"/records/{'0' * 32}")
+    assert status == 404
+    assert client.load("0" * 32) is None
+    assert client.degraded == 0  # a miss is not degradation
+
+
+def test_malformed_digest_is_400(served_store):
+    _backing, server, _client = served_store
+    for bad in ("xyz", "AB" * 16, "a" * 31, "a" * 33, "..%2f..%2fescape"):
+        status, payload = request(server, "GET", f"/records/{bad}")
+        assert status == 400, bad
+        assert "digest" in str(payload.get("error", "")).lower()
+
+
+def test_invalid_trials_rejected_with_400(served_store):
+    backing, server, _client = served_store
+    bad_bodies = [
+        None,                                           # no body at all
+        {"trials": [{"trial": 0}]},                     # meta missing
+        {"meta": META, "trials": "nope"},               # not a list
+        {"meta": META, "trials": [{"trial": 1, "steps": 5}]},  # gap at 0
+        {"meta": "not-a-dict", "trials": []},
+    ]
+    for body in bad_bodies:
+        status, _ = request(server, "PUT", f"/records/{DIGEST}", body)
+        assert status == 400, body
+    assert backing.load(DIGEST) is None
+
+
+def test_read_only_server_refuses_writes(tmp_path, fast_policy):
+    backing = ResultsStore(tmp_path, write=False)
+    server = JsonHttpServer(StoreApp(backing)).start()
+    try:
+        client = RemoteStore(server.url, policy=fast_policy)
+        client.save(DIGEST, META, make_trials(2))
+        assert client.degraded == 1           # 403 counted, not raised
+        assert ResultsStore(tmp_path).load(DIGEST) is None
+    finally:
+        server.close()
+
+
+def test_unknown_route_and_method(served_store):
+    _backing, server, _client = served_store
+    assert request(server, "GET", "/nope")[0] == 404
+    assert request(server, "DELETE", f"/records/{DIGEST}")[0] == 405
+
+
+def test_health_and_summary(served_store):
+    backing, server, client = served_store
+    assert request(server, "GET", "/health") == (200, {"ok": True})
+    client.save(DIGEST, META, make_trials(1))
+    status, payload = request(server, "GET", "/")
+    assert status == 200
+    assert payload["service"] == "repro-store"
+    assert payload["records"] == backing.summary()["records"]
+
+
+# ---------------------------------------------------------------------- #
+# Degradation: the client never raises
+# ---------------------------------------------------------------------- #
+def test_unreachable_server_degrades_to_miss(fast_policy):
+    client = RemoteStore("http://127.0.0.1:9", policy=fast_policy)
+    assert client.load(DIGEST) is None
+    client.save(DIGEST, META, make_trials(1))
+    assert client.degraded == 2
+    assert client.stats()["degraded"] == 2
+
+
+def test_stats_shape(served_store):
+    _backing, server, client = served_store
+    stats = client.stats()
+    assert stats == {"root": server.url, "write": True, "served": 0,
+                     "executed": 0, "degraded": 0}
+
+
+# ---------------------------------------------------------------------- #
+# Executor integration: remote == local == serial, bit for bit
+# ---------------------------------------------------------------------- #
+def test_executor_runs_against_live_server(served_store):
+    _backing, _server, client = served_store
+    config = ExperimentConfig(trials=2, max_steps=2_000_000, seed=99)
+    baseline = run_spec("angluin-modk", 5, config)
+
+    cold = run_spec("angluin-modk", 5, config, store=client)
+    assert client.executed == 2 and client.served == 0
+    assert cold.steps == baseline.steps
+
+    warm_client = RemoteStore(client.url, policy=client.policy)
+    warm = run_spec("angluin-modk", 5, config, store=warm_client)
+    assert warm_client.executed == 0 and warm_client.served == 2
+    assert warm_client.degraded == 0
+    assert warm.steps == baseline.steps
+
+
+def test_remote_and_local_store_share_records(served_store, tmp_path):
+    """A record computed through the wire serves a local store of the same
+    root, and vice versa — the server is just a ResultsStore with a socket."""
+    backing, _server, client = served_store
+    config = ExperimentConfig(trials=2, max_steps=2_000_000, seed=7)
+    run_spec("angluin-modk", 7, config, store=client)
+
+    local = ResultsStore(backing.root)
+    digest = batch_digest("angluin-modk", 7, "adversarial", "angluin", config)
+    assert local.load(digest) is not None
+    local_run = run_spec("angluin-modk", 7, config, store=local)
+    assert local.executed == 0 and local.served == 2
+    assert local_run.steps == run_spec("angluin-modk", 7, config).steps

@@ -1,0 +1,151 @@
+"""Transport behavior against a byte-exact scripted server.
+
+These tests exercise the failure modes the fabric was built for: 5xx
+responses that clear up, truncated/garbled JSON bodies, persistent server
+errors, and servers that are simply not there.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fabric.retry import RetryPolicy
+from repro.fabric.transport import TransportError, parse_http_url, request_json
+
+from fabric_helpers import ScriptedServer, http_bytes
+
+NO_SLEEP = lambda _s: None  # noqa: E731 - terse on purpose
+
+
+def ok_body(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class TestParseHttpUrl:
+    def test_host_and_port(self):
+        assert parse_http_url("http://10.0.0.7:8651") == ("10.0.0.7", 8651)
+
+    def test_default_port_applied(self):
+        assert parse_http_url("http://storehost", 8651) == ("storehost", 8651)
+
+    def test_trailing_slash_tolerated(self):
+        assert parse_http_url("http://h:9/") == ("h", 9)
+
+    @pytest.mark.parametrize("url", [
+        "https://secure:443",          # https refused with an explanation
+        "ftp://h:21",
+        "storehost:8651",              # no scheme
+        "http://h:8651/records/abc",   # paths not allowed
+        "http://:8651",                # missing host
+        "http://h:notaport",
+        "http://h:0",
+        "http://h:70000",
+    ])
+    def test_rejects_malformed(self, url):
+        with pytest.raises(ValueError):
+            parse_http_url(url)
+
+    def test_https_error_explains_itself(self):
+        with pytest.raises(ValueError, match="plain http"):
+            parse_http_url("https://h:443")
+
+
+class TestRequestJson:
+    def test_transient_500_then_success(self, fast_policy):
+        server = ScriptedServer([
+            http_bytes(500, ok_body({"error": "busy"})),
+            http_bytes(200, ok_body({"fine": True})),
+        ])
+        try:
+            status, payload = request_json(
+                "127.0.0.1", server.port, "GET", "/health",
+                policy=fast_policy, sleep=NO_SLEEP)
+        finally:
+            server.close()
+        assert (status, payload) == (200, {"fine": True})
+
+    def test_garbled_body_then_success(self, fast_policy):
+        server = ScriptedServer([
+            http_bytes(200, b'{"record": {"trunca'),  # cut mid-JSON
+            http_bytes(200, ok_body({"record": None})),
+        ])
+        try:
+            status, payload = request_json(
+                "127.0.0.1", server.port, "GET", "/records/x",
+                policy=fast_policy, sleep=NO_SLEEP)
+        finally:
+            server.close()
+        assert (status, payload) == (200, {"record": None})
+
+    def test_truncated_transfer_then_success(self, fast_policy):
+        # Content-Length promises more bytes than the server sends before
+        # closing; http.client raises IncompleteRead, which must be retried.
+        server = ScriptedServer([
+            http_bytes(200, b'{"ok": tr', advertised_length=12),
+            http_bytes(200, ok_body({"ok": True})),
+        ])
+        try:
+            status, payload = request_json(
+                "127.0.0.1", server.port, "GET", "/health",
+                policy=fast_policy, sleep=NO_SLEEP)
+        finally:
+            server.close()
+        assert (status, payload) == (200, {"ok": True})
+
+    def test_persistent_500_is_returned_not_raised(self, fast_policy):
+        script = [http_bytes(500, ok_body({"error": "melted"}))
+                  ] * fast_policy.attempts
+        server = ScriptedServer(script)
+        try:
+            status, payload = request_json(
+                "127.0.0.1", server.port, "GET", "/",
+                policy=fast_policy, sleep=NO_SLEEP)
+        finally:
+            server.close()
+        assert status == 500
+        assert payload == {"error": "melted"}
+
+    def test_unreachable_raises_transport_error(self, fast_policy):
+        server = ScriptedServer([])  # accepts nothing; listener closes
+        server.close()
+        with pytest.raises(TransportError, match="failed after 4 attempt"):
+            request_json("127.0.0.1", server.port, "GET", "/",
+                         policy=fast_policy, sleep=NO_SLEEP)
+
+    def test_4xx_not_retried(self):
+        # One scripted connection only: a second attempt would raise
+        # TransportError instead of returning the 404.
+        server = ScriptedServer([http_bytes(404, ok_body({"error": "nope"}))])
+        try:
+            status, payload = request_json(
+                "127.0.0.1", server.port, "GET", "/records/y",
+                policy=RetryPolicy(retries=3, base_delay=0.001),
+                sleep=NO_SLEEP)
+        finally:
+            server.close()
+        assert (status, payload) == (404, {"error": "nope"})
+
+    def test_non_dict_json_wrapped(self, fast_policy):
+        server = ScriptedServer([http_bytes(200, ok_body([1, 2, 3]))])
+        try:
+            status, payload = request_json(
+                "127.0.0.1", server.port, "GET", "/",
+                policy=fast_policy, sleep=NO_SLEEP)
+        finally:
+            server.close()
+        assert (status, payload) == (200, {"value": [1, 2, 3]})
+
+    def test_post_sends_json_body(self, fast_policy):
+        server = ScriptedServer([http_bytes(200, ok_body({"ok": True}))])
+        try:
+            request_json("127.0.0.1", server.port, "POST", "/claim",
+                         {"worker": "worker-0001"},
+                         policy=fast_policy, sleep=NO_SLEEP)
+        finally:
+            server.close()
+        request = server.requests[0]
+        assert request.startswith(b"POST /claim HTTP/1.1")
+        assert b'{"worker": "worker-0001"}' in request
+        assert b"Content-Type: application/json" in request

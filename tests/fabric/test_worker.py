@@ -1,0 +1,121 @@
+"""The worker loop against a live in-process coordinator server.
+
+End-to-end in one process: HTTP coordinator + local store + ``work_loop``.
+The assertions are the fabric's core promises — a drained sweep is DONE,
+its trials land in the store bit-identical to a serial run, failures are
+reported and budgeted, and a second worker re-running the sweep is served
+entirely from cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentConfig, run_spec
+from repro.fabric.client import FabricClient
+from repro.fabric.coordinator import Coordinator, DONE, FAILED
+from repro.fabric.coordinator_server import CoordinatorApp
+from repro.fabric.httpd import JsonHttpServer
+from repro.fabric.worker import work_loop
+from repro.store import ResultsStore
+from repro.fabric.transport import TransportError
+
+PAYLOAD = {"protocol": "angluin-modk", "sizes": [5, 7], "trials": 2,
+           "max_steps": 2_000_000, "seed": 21}
+CONFIG = ExperimentConfig(trials=2, max_steps=2_000_000, seed=21)
+
+
+@pytest.fixture
+def fabric(fast_policy):
+    """A live coordinator server plus a client bound to it."""
+    server = JsonHttpServer(CoordinatorApp(Coordinator(lease_ttl=30.0))).start()
+    client = FabricClient(server.url, policy=fast_policy)
+    yield server, client
+    server.close()
+
+
+def test_drain_completes_a_sweep_bit_identical_to_serial(fabric, tmp_path,
+                                                         fast_policy):
+    server, client = fabric
+    sweep_id = client.submit(PAYLOAD)
+    store = ResultsStore(tmp_path)
+    announcements = []
+    stats = work_loop(server.url, store=store, drain=True, poll=0.05,
+                      announce=announcements.append, policy=fast_policy)
+    assert stats["points"] == 2 and stats["failures"] == 0
+
+    status = client.status(sweep_id)
+    assert status["state"] == DONE
+    assert status["attempts"] == 2 and status["reclaims"] == 0
+
+    # Reassembled sweep == serial run, served entirely from the store.
+    for n in (5, 7):
+        warm = ResultsStore(tmp_path)
+        served = run_spec("angluin-modk", n, CONFIG, store=warm)
+        assert warm.executed == 0 and warm.served == 2
+        assert served.steps == run_spec("angluin-modk", n, CONFIG).steps
+
+    joined = "\n".join(announcements)
+    assert f"serving {server.url}" in joined
+    assert "executing" in joined and "completed" in joined
+
+
+def test_two_sequential_workers_split_nothing_twice(fabric, tmp_path,
+                                                    fast_policy):
+    """The second worker to drain the same coordinator finds it idle; a
+    freshly submitted identical sweep is then served from the store."""
+    server, client = fabric
+    client.submit(PAYLOAD)
+    store = ResultsStore(tmp_path)
+    first = work_loop(server.url, store=store, drain=True, policy=fast_policy)
+    assert first["points"] == 2
+
+    idle = work_loop(server.url, store=ResultsStore(tmp_path), drain=True,
+                     policy=fast_policy)
+    assert idle["points"] == 0
+
+    rerun_id = client.submit(PAYLOAD)
+    rerun_store = ResultsStore(tmp_path)
+    rerun = work_loop(server.url, store=rerun_store, drain=True,
+                      policy=fast_policy)
+    assert rerun["points"] == 2
+    assert rerun_store.executed == 0 and rerun_store.served == 4
+    assert client.status(rerun_id)["state"] == DONE
+
+
+def test_max_points_bounds_execution(fabric, tmp_path, fast_policy):
+    server, client = fabric
+    sweep_id = client.submit(PAYLOAD)
+    stats = work_loop(server.url, store=ResultsStore(tmp_path), drain=True,
+                      max_points=1, policy=fast_policy)
+    assert stats["points"] == 1
+    status = client.status(sweep_id)
+    assert status["state"] == "RUNNING" and status["done"] == 1
+
+
+def test_failing_points_exhaust_the_budget_and_fail_the_sweep(
+        fabric, tmp_path, monkeypatch, fast_policy):
+    server, client = fabric
+    monkeypatch.setattr("repro.fabric.worker.run_trials",
+                        lambda *args, **kwargs: (_ for _ in ()).throw(
+                            RuntimeError("injected executor crash")))
+    # max_attempts=5 on the default coordinator; each drain pass fails every
+    # runnable point once, and the sweep dies once a point's budget is spent.
+    sweep_id = client.submit(dict(PAYLOAD, sizes=[5]))
+    stats = work_loop(server.url, store=ResultsStore(tmp_path), drain=True,
+                      poll=0.01, policy=fast_policy)
+    assert stats["points"] == 0
+    assert stats["failures"] == 5
+    status = client.status(sweep_id)
+    assert status["state"] == FAILED
+    assert "injected executor crash" in status["error"]
+    point = status["point_detail"][0]
+    assert (point["attempts"], point["failures"]) == (5, 5)
+
+
+def test_unreachable_coordinator_raises_from_register(fast_policy):
+    """Registration is the one step with nothing to fall back on: if the
+    coordinator never answers, the worker surfaces TransportError (the CLI
+    turns it into a friendly error)."""
+    with pytest.raises(TransportError):
+        work_loop("http://127.0.0.1:9", drain=True, policy=fast_policy)

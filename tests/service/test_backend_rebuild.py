@@ -1,0 +1,100 @@
+"""WarmPool fault recovery: a killed worker costs one rebuild, not the job.
+
+The shared pool is the service's single point of fragility — one
+OOM-killed worker process poisons it for every job. These tests kill a
+real pool worker under :meth:`WarmPool.run_point` and assert the pool is
+rebuilt exactly once with bit-identical results, and that a pool breaking
+*twice* fails loudly with a diagnostic instead of looping.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.api import BatchRequest, ExperimentConfig
+from repro.api.executor import batch_tasks, run_trials
+from repro.service.backend import WarmPool
+from repro.store import ResultsStore
+
+CONFIG = ExperimentConfig(trials=6, max_steps=2_000_000, seed=23)
+
+
+def _tasks():
+    return batch_tasks(BatchRequest(spec_name="angluin-modk",
+                                    population_size=5, config=CONFIG))
+
+
+def _kill_one_worker(pool: WarmPool) -> None:
+    # Worker processes spawn on first submission, so force one before
+    # picking a victim.
+    pool.pool.submit(abs, 1).result()
+    victim = next(iter(pool.pool._processes.values()))
+    os.kill(victim.pid, signal.SIGKILL)
+
+
+def test_run_point_survives_a_killed_worker():
+    serial = run_trials(_tasks())
+    with WarmPool(workers=2) as pool:
+        _kill_one_worker(pool)
+        results = pool.run_point(_tasks())
+        assert pool.rebuilds == 1
+        assert [r.steps for r in results] == [r.steps for r in serial]
+        # The rebuilt pool is healthy: the next point runs clean.
+        again = pool.run_point(_tasks())
+        assert pool.rebuilds == 1
+        assert [r.steps for r in again] == [r.steps for r in serial]
+
+
+def test_run_point_with_store_serves_the_rerun_from_write_backs(tmp_path):
+    serial = run_trials(_tasks())
+    store = ResultsStore(tmp_path)
+    with WarmPool(workers=2) as pool:
+        _kill_one_worker(pool)
+        results = pool.run_point(_tasks(), store=store)
+    assert [r.steps for r in results] == [r.steps for r in serial]
+    warm = ResultsStore(tmp_path)
+    assert [r.steps for r in run_trials(_tasks(), store=warm)] == \
+        [r.steps for r in serial]
+    assert warm.served == len(serial) and warm.executed == 0
+
+
+def test_second_break_fails_the_point_with_a_diagnostic(monkeypatch):
+    pool = WarmPool(workers=1)
+    calls = []
+
+    def always_broken(*args, **kwargs):
+        calls.append(1)
+        raise BrokenProcessPool("injected")
+
+    monkeypatch.setattr("repro.service.backend.run_trials", always_broken)
+    try:
+        with pytest.raises(RuntimeError, match="broke twice"):
+            pool.run_point(_tasks())
+    finally:
+        pool.close()
+    assert len(calls) == 2  # original attempt + exactly one retry
+    assert pool.rebuilds == 1
+
+
+def test_executor_propagates_shared_pool_breaks_to_the_owner():
+    """run_trials itself must NOT rebuild a caller-owned pool — other runs
+    share it; the owner (WarmPool.run_point) is the rebuild authority."""
+    with WarmPool(workers=2) as pool:
+        _kill_one_worker(pool)
+        with pytest.raises(BrokenProcessPool):
+            run_trials(_tasks(), pool=pool.pool)
+        assert pool.rebuilds == 0
+
+
+def test_inline_mode_has_no_pool_to_break():
+    pool = WarmPool(workers=0)
+    assert pool.pool is None
+    results = pool.run_point(_tasks())
+    assert [r.steps for r in results] == \
+        [r.steps for r in run_trials(_tasks())]
+    assert pool.rebuilds == 0

@@ -1,0 +1,114 @@
+"""ServiceClient transport retries: flaky services stop failing scripts.
+
+Pure unit tests — ``_attempt`` is stubbed so no sockets (or sleeps: the
+policy's delays are observed through a recording ``time.sleep``) are
+involved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.retry import RetryPolicy
+from repro.service.client import ServiceClient, ServiceError
+
+
+class Script:
+    """Feed ``_attempt`` outcomes in order; record every call."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def __call__(self, method, path, encoded):
+        self.calls.append((method, path, encoded))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+@pytest.fixture
+def client(monkeypatch):
+    instance = ServiceClient("http://127.0.0.1:8642", retries=3)
+    # Zero out backoff delays without changing attempt accounting.
+    monkeypatch.setattr("repro.service.client.time.sleep", lambda _s: None)
+    return instance
+
+
+def scripted(client, monkeypatch, outcomes) -> Script:
+    script = Script(outcomes)
+    monkeypatch.setattr(client, "_attempt", script)
+    return script
+
+
+def test_policy_mirrors_ctor_arguments():
+    client = ServiceClient("http://127.0.0.1:8642", timeout=7.0, retries=2)
+    assert client.policy == RetryPolicy(retries=2, timeout=7.0)
+
+
+def test_connection_errors_retry_then_succeed(client, monkeypatch):
+    script = scripted(client, monkeypatch, [
+        ConnectionRefusedError("not up yet"),
+        ConnectionResetError("restarting"),
+        (200, {"service": "repro-experiments"}),
+    ])
+    assert client.info() == {"service": "repro-experiments"}
+    assert len(script.calls) == 3
+
+
+def test_5xx_retries_then_succeeds(client, monkeypatch):
+    script = scripted(client, monkeypatch, [
+        (503, {"error": "overloaded"}),
+        (200, {"jobs": []}),
+    ])
+    assert client.jobs() == []
+    assert len(script.calls) == 2
+
+
+def test_persistent_5xx_surfaces_as_service_error(client, monkeypatch):
+    script = scripted(client, monkeypatch,
+                      [(500, {"error": "melted"})] * client.policy.attempts)
+    with pytest.raises(ServiceError) as excinfo:
+        client.info()
+    assert excinfo.value.status == 500
+    assert len(script.calls) == client.policy.attempts == 4
+
+
+def test_exhaustion_reraises_the_original_connection_error(client,
+                                                           monkeypatch):
+    original = ConnectionRefusedError("down for good")
+    scripted(client, monkeypatch, [original] * client.policy.attempts)
+    with pytest.raises(ConnectionRefusedError) as excinfo:
+        client.info()
+    assert excinfo.value is original
+
+
+def test_4xx_never_retries(client, monkeypatch):
+    script = scripted(client, monkeypatch, [(404, {"error": "no such job"})])
+    with pytest.raises(ServiceError) as excinfo:
+        client.status("job-0001")
+    assert excinfo.value.status == 404
+    assert len(script.calls) == 1
+
+
+def test_retries_zero_opts_out(monkeypatch):
+    client = ServiceClient("http://127.0.0.1:8642", retries=0)
+    script = scripted(client, monkeypatch, [ConnectionRefusedError("down")])
+    with pytest.raises(ConnectionRefusedError):
+        client.info()
+    assert len(script.calls) == 1
+
+
+def test_submit_retries_send_identical_bodies(client, monkeypatch):
+    """The documented duplicate-submit caveat: a retried POST re-sends the
+    same encoded body, so the duplicate job is identical (and its trials
+    are served from the store)."""
+    script = scripted(client, monkeypatch, [
+        ConnectionResetError("response lost"),
+        (200, {"id": "job-0002", "state": "QUEUED"}),
+    ])
+    client.submit({"protocol": "ppl", "sizes": [8]})
+    bodies = [call[2] for call in script.calls]
+    assert bodies[0] == bodies[1]
+    assert b'"protocol": "ppl"' in bodies[0]

@@ -118,3 +118,51 @@ def test_clear_drops_lock_files_with_their_records(tmp_path):
     assert store.clear() == 1
     assert not store.record_path(_digest()).exists()
     assert not lock.exists()
+
+
+# ---------------------------------------------------------------------- #
+# Bounded lock waits: a dead writer's leaked flock must not wedge saves
+# ---------------------------------------------------------------------- #
+def _trial_results(count):
+    from repro.api.executor import TrialResult
+    return [TrialResult(trial=index, steps=500 + index, converged=True,
+                        wall_time=0.1, engine="step", protocol_name="P")
+            for index in range(count)]
+
+
+def test_save_survives_a_wedged_lock_holder(tmp_path):
+    """Regression: a writer killed while holding the record flock (or a
+    handle leaked to a live descendant) used to wedge every later save
+    forever. The wait is now bounded by ``lock_timeout``; on expiry the
+    save proceeds unlocked with read-compare-retry, so the record is still
+    written and never-shrink still holds."""
+    import fcntl
+    import time
+
+    store = ResultsStore(tmp_path, lock_timeout=0.2)
+    digest = _digest()
+    path = store.record_path(digest)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    wedged = open(path.parent / f".{path.stem}.lock", "w")
+    try:
+        fcntl.flock(wedged, fcntl.LOCK_EX)  # the dead writer's leaked lock
+
+        start = time.monotonic()
+        store.save(digest, _meta(), _trial_results(3))
+        elapsed = time.monotonic() - start
+        assert 0.2 <= elapsed < 2.0, "wait must be bounded by lock_timeout"
+        assert len(store.load(digest)) == 3
+
+        # Never-shrink survives the unlocked path too.
+        store.save(digest, _meta(), _trial_results(2))
+        assert len(store.load(digest)) == 3
+        store.save(digest, _meta(), _trial_results(5))
+        assert len(store.load(digest)) == 5
+    finally:
+        fcntl.flock(wedged, fcntl.LOCK_UN)
+        wedged.close()
+
+
+def test_lock_timeout_default_and_override(tmp_path):
+    assert ResultsStore(tmp_path).lock_timeout == ResultsStore.DEFAULT_LOCK_TIMEOUT
+    assert ResultsStore(tmp_path, lock_timeout=1.5).lock_timeout == 1.5
