@@ -1,0 +1,166 @@
+"""Benchmark — quantitative model checker: symmetry reduction throughput.
+
+The quantitative checker (:mod:`repro.check.quant`) solves an absorbing
+Markov chain over the full ``|Q|^n`` configuration space — or, on rings
+and tori, over its rotation/translation quotient
+(:mod:`repro.check.symmetry`).  Two numbers matter:
+
+* **throughput** — chain nodes analyzed per second (graph build + legal
+  mask + hitting-time solve), full space versus quotient, which shows
+  the reduction buying its ~``1/n`` node count without a per-node
+  slowdown beyond the canonization overhead; and
+* **reach** — the largest ring the default ``--max-configs`` budget
+  admits, full versus quotient, straight from Burnside's lemma.  The
+  quotient pushes the wall out by two to three ring sizes per state
+  count, which is the difference between checking toy rings and
+  checking the sizes the paper's experiments actually run.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_check_quant.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Tuple
+
+from repro.api.registry import CheckPolicy, ProtocolSpec, register, unregister
+from repro.check.graph import DEFAULT_MAX_CONFIGS
+from repro.check.quant import quant_spec
+from repro.check.symmetry import RotationSymmetry
+from repro.core.configuration import Configuration
+from repro.core.protocol import Protocol
+from repro.experiments.reporting import format_table
+
+#: Toy state count for the throughput measurement: small enough that the
+#: full space at BENCH_N fits the default budget, so both paths run.
+BENCH_STATES = 4
+
+#: Ring size of the throughput measurement (4^8 = 65,536 configurations).
+BENCH_N = 8
+
+#: State counts of the reach table.
+REACH_STATES = (3, 4, 5)
+
+
+class _MaxPropProtocol(Protocol):
+    """Max propagation: anonymous, any |Q|, converges to all-equal."""
+
+    name = "bench-quant-maxprop"
+
+    def __init__(self, num_values: int) -> None:
+        self._num_values = num_values
+
+    def transition(self, initiator, responder) -> Tuple[int, int]:
+        return initiator, max(initiator, responder)
+
+    def output(self, state) -> str:
+        return "L" if state == self._num_values - 1 else "F"
+
+    def random_state(self, rng) -> int:
+        return rng.randint(0, self._num_values - 1)
+
+    def state_space_size(self) -> int:
+        return self._num_values
+
+    def canonical_states(self):
+        return tuple(range(self._num_values))
+
+
+def _register_spec(num_values: int) -> str:
+    name = f"bench-quant-maxprop-{num_values}"
+    register(ProtocolSpec(
+        name=name,
+        summary="max-propagation toy spec (quant benchmark)",
+        factory=lambda n, config: _MaxPropProtocol(num_values),
+        families={"adversarial": lambda protocol, n, rng: Configuration(
+            [protocol.random_state(rng) for _ in range(n)])},
+        stop_predicate=lambda protocol: (
+            lambda states: len(set(states)) == 1),
+        check=CheckPolicy(),
+    ))
+    return name
+
+
+def _timed_point(name: str, symmetry: str):
+    started = time.perf_counter()
+    report = quant_spec(name, topology="directed-ring", n=BENCH_N,
+                        symmetry=symmetry, simulate=False)
+    elapsed = time.perf_counter() - started
+    (point,) = [p for p in report["points"]
+                if p["topology"] == "directed-ring"]
+    assert point["status"] == "verified", point
+    return point, elapsed
+
+
+def test_quotient_throughput_and_agreement(benchmark):
+    """Full-space vs quotient wall time on one ring, identical answers."""
+    name = _register_spec(BENCH_STATES)
+    try:
+        full_point, full_time = _timed_point(name, "off")
+        quotient_point, quotient_time = benchmark.pedantic(
+            lambda: _timed_point(name, "force"), rounds=1, iterations=1)
+    finally:
+        unregister(name)
+
+    rows = []
+    for label, point, elapsed in (("full", full_point, full_time),
+                                  ("quotient", quotient_point,
+                                   quotient_time)):
+        nodes = point["analyzed_nodes"]
+        rows.append([
+            label, nodes, f"{elapsed:.2f}", f"{nodes / elapsed:,.0f}",
+            f"{point['expected_steps']['uniform']['value']:.4f}",
+            f"{point['expected_steps']['worst']['value']:.4f}",
+        ])
+    print()
+    print(format_table(
+        ["mode", "nodes", "seconds", "nodes/s", "E[uniform]", "E[worst]"],
+        rows,
+        title=(f"quantitative check throughput: max-prop "
+               f"|Q|={BENCH_STATES}, directed ring n={BENCH_N}")))
+
+    # The quotient must analyze ~n-times fewer nodes and agree with the
+    # full chain to the iterative certificate.
+    assert quotient_point["analyzed_nodes"] * (BENCH_N - 1) \
+        < full_point["analyzed_nodes"]
+    for key in ("uniform", "worst"):
+        mine = full_point["expected_steps"][key]["value"]
+        theirs = quotient_point["expected_steps"][key]["value"]
+        assert abs(mine - theirs) < 1e-5, (key, mine, theirs)
+
+
+def test_reach_table_from_burnside():
+    """Largest feasible ring under the default budget, full vs quotient.
+
+    Pure arithmetic (no chains are built): full enumeration is feasible
+    while ``|Q|^n`` fits the budget, the quotient while the necklace
+    count does.  Deterministic, so the gained sizes are asserted.
+    """
+    rows = []
+    gains = {}
+    for num_states in REACH_STATES:
+        full_max = 0
+        n = 1
+        while num_states ** (n + 1) <= DEFAULT_MAX_CONFIGS:
+            n += 1
+        full_max = n
+        n = 1
+        while (RotationSymmetry(n + 1).orbit_count(num_states)
+               <= DEFAULT_MAX_CONFIGS):
+            n += 1
+        quotient_max = n
+        gains[num_states] = quotient_max - full_max
+        rows.append([
+            num_states, full_max, quotient_max, quotient_max - full_max,
+            RotationSymmetry(quotient_max).orbit_count(num_states),
+        ])
+    print()
+    print(format_table(
+        ["|Q|", "full max n", "quotient max n", "gained sizes",
+         "orbits at quotient max n"],
+        rows,
+        title=(f"feasible directed-ring sizes under --max-configs "
+               f"{DEFAULT_MAX_CONFIGS:,}")))
+    assert all(gain >= 2 for gain in gains.values()), gains

@@ -104,6 +104,16 @@ class CheckPolicy:
     #: for protocols whose reachable space is larger than the engine
     #: default but still checkable).
     max_states: int = 512
+    #: Executor trials the quantitative cross-validation gate runs when
+    #: comparing the simulated mean against the exact expected hitting
+    #: time (``repro-ssle check --quant``).  The gate is deterministic for
+    #: a fixed config seed, so this trades gate runtime against the width
+    #: of the standard-error band, not against flakiness.
+    quant_trials: int = 200
+    #: z-score tolerance of that gate: how many standard errors the
+    #: simulated mean may sit from the exact value before the point is
+    #: reported ``violated``.
+    quant_z: float = 4.0
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ from repro.check.graph import (
     ConfigurationGraph,
     analyze,
 )
+from repro.check.symmetry import QuotientGraph, symmetry_for
 from repro.core.encoding import StateEncoder, coverage_seeds
 from repro.core.errors import StateSpaceError
 from repro.topology.registry import (
@@ -48,7 +49,16 @@ from repro.topology.registry import (
 
 #: Default population bound: the ISSUE-level contract is "small n"; six is
 #: the ceiling, the budget then picks the largest feasible n at or below it.
+#: (Symmetry reduction raises the *feasible* ceiling — callers that want
+#: rings beyond six pass a larger ``max_n`` and let the orbit budget decide.)
 DEFAULT_MAX_N = 6
+
+#: How :func:`select_point` spends the ``max_configs`` budget: ``"off"``
+#: counts full configurations only; ``"auto"`` prefers the full graph but
+#: falls back to the symmetry quotient when only the orbit count fits;
+#: ``"force"`` requires the quotient (skipping topologies with no
+#: implemented symmetry group) — the equivalence tests' lever.
+SYMMETRY_MODES = ("auto", "off", "force")
 
 VERIFIED = "verified"
 VIOLATED = "violated"
@@ -108,17 +118,46 @@ def _hygiene(protocol, encoder: StateEncoder,
     }
 
 
-def _select_population(spec: ProtocolSpec, topology: str, max_n: int,
-                       max_configs: int, config: ExperimentConfig,
-                       max_states: int,
-                       cache: Dict[int, Tuple[object, StateEncoder]],
-                       forced_n: Optional[int] = None,
-                       ) -> Tuple[Optional[int], str]:
-    """Largest feasible ``n`` for one topology, or a skip reason.
+def _feasible_reduction(topology: str, n: int, num_states: int,
+                        max_configs: int) -> Tuple[Optional[object], str]:
+    """The topology's symmetry group if its quotient fits the budget.
 
+    Both the orbit count (what the analyses traverse) and the enumeration
+    cost (what representative discovery touches — ``|Q|^{wh}`` for tori,
+    output-sensitive for rings) must stay within reach of the budget.
+    """
+    population = build_topology(topology, n)
+    reduction = symmetry_for(population)
+    if reduction is None:
+        return None, f"no symmetry group implemented for {topology!r}"
+    orbits = reduction.orbit_count(num_states)
+    if orbits > max_configs:
+        return None, (f"{orbits} orbits under {reduction.name} exceed "
+                      f"the budget of {max_configs}")
+    if reduction.enumeration_cost(num_states) > max_configs * reduction.group_size:
+        return None, (f"representative enumeration would touch "
+                      f"{reduction.enumeration_cost(num_states)} "
+                      f"configurations, beyond the budget")
+    return reduction, ""
+
+
+def select_point(spec: ProtocolSpec, topology: str, max_n: int,
+                 max_configs: int, config: ExperimentConfig,
+                 max_states: int,
+                 cache: Dict[int, Tuple[object, StateEncoder]],
+                 forced_n: Optional[int] = None,
+                 symmetry: str = "auto",
+                 ) -> Tuple[Optional[int], Optional[object], str]:
+    """Largest feasible ``n`` for one topology: ``(n, reduction, reason)``.
+
+    ``reduction`` is ``None`` for a full-graph point or the symmetry group
+    whose quotient made the point feasible (see :data:`SYMMETRY_MODES`).
     Encoders are cached per ``n`` across topologies: the protocol depends
     only on ``(n, config)``, never on the graph.
     """
+    if symmetry not in SYMMETRY_MODES:
+        raise ValueError(f"symmetry must be one of {SYMMETRY_MODES}, "
+                         f"got {symmetry!r}")
     candidates = ([forced_n] if forced_n is not None
                   else list(range(max_n, 1, -1)))
     reasons: List[str] = []
@@ -134,26 +173,43 @@ def _select_population(spec: ProtocolSpec, topology: str, max_n: int,
         if n not in cache:
             cache[n] = _build_encoder(spec, n, config, max_states)
         num_states = cache[n][1].num_states
-        if num_states ** n > max_configs:
+        full_feasible = num_states ** n <= max_configs
+        if symmetry != "force" and full_feasible:
+            return n, None, ""
+        if symmetry == "off":
             reasons.append(
                 f"n={n}: {num_states}^{n} configurations exceed the "
                 f"budget of {max_configs}")
             continue
-        return n, ""
+        reduction, why = _feasible_reduction(topology, n, num_states,
+                                             max_configs)
+        if reduction is not None:
+            return n, reduction, ""
+        reasons.append(
+            f"n={n}: {num_states}^{n} configurations exceed the budget "
+            f"of {max_configs} and {why}"
+            if not full_feasible else f"n={n}: {why}")
     detail = reasons[-1] if reasons else f"no candidate n <= {max_n}"
-    return None, (f"no feasible population size on {topology!r} "
-                  f"(last: {detail})")
+    return None, None, (f"no feasible population size on {topology!r} "
+                        f"(last: {detail})")
 
 
 def _check_point(spec: ProtocolSpec, policy: CheckPolicy, topology: str,
                  n: int, protocol, encoder: StateEncoder,
-                 ) -> Dict[str, object]:
-    """Run the full-graph battery for one ``(topology, n)`` point."""
+                 reduction=None) -> Dict[str, object]:
+    """Run the full-graph battery for one ``(topology, n)`` point.
+
+    With ``reduction`` set, the battery runs on the symmetry quotient
+    instead: verdicts transfer exactly (orbit members have identical
+    futures), only the example configurations are reported as orbit
+    representatives rather than arbitrary members.
+    """
     population = build_topology(topology, n)
     predicate = spec.build_stop_predicate(protocol, population)
     initiator_out, responder_out, changed, _ = encoder.tables()
-    graph = ConfigurationGraph(encoder.num_states, n, list(population.arcs),
-                               initiator_out, responder_out, changed)
+    full = ConfigurationGraph(encoder.num_states, n, list(population.arcs),
+                              initiator_out, responder_out, changed)
+    graph = QuotientGraph(full, reduction) if reduction is not None else full
     states = encoder.decode_view(range(encoder.num_states))
     legal = graph.legal_mask(predicate, states)
     analysis = analyze(graph, legal)
@@ -200,16 +256,26 @@ def _check_point(spec: ProtocolSpec, policy: CheckPolicy, topology: str,
     status = (VIOLATED
               if any(check["status"] == VIOLATED for check in checks.values())
               else VERIFIED)
-    return {
+    point: Dict[str, object] = {
         "topology": topology,
         "n": n,
         "num_states": encoder.num_states,
-        "num_configs": analysis.num_configs,
+        # The size of the configuration *space* (full |Q|^n), independent
+        # of whether the analysis traversed it or its quotient.
+        "num_configs": full.num_configs,
+        "analyzed_nodes": analysis.num_configs,
         "num_legal": analysis.num_legal,
         "scc_count": analysis.scc_count,
         "status": status,
         "checks": checks,
     }
+    if reduction is not None:
+        point["reduction"] = {
+            "group": reduction.name,
+            "group_size": reduction.group_size,
+            "orbits": analysis.num_configs,
+        }
+    return point
 
 
 def verify_spec(name: str,
@@ -218,15 +284,19 @@ def verify_spec(name: str,
                 n: Optional[int] = None,
                 max_configs: int = DEFAULT_MAX_CONFIGS,
                 config: Optional[ExperimentConfig] = None,
+                symmetry: str = "auto",
                 ) -> Dict[str, object]:
     """Model-check one registered simulated spec; returns the JSON report.
 
     ``topology`` restricts the check to one topology (default: every
     topology the spec supports); ``n`` forces an exact population size
-    instead of the largest-feasible selection.  The report's ``status`` is
-    ``verified`` (every claimed property proved on at least one point and
-    no violation anywhere), ``violated``, or ``skipped`` (policy opt-out,
-    un-enumerable state space, or no feasible point — with the reason).
+    instead of the largest-feasible selection; ``symmetry`` governs
+    whether the ``max_configs`` budget may be spent on rotation/translation
+    orbits instead of raw configurations (see :data:`SYMMETRY_MODES`).
+    The report's ``status`` is ``verified`` (every claimed property proved
+    on at least one point and no violation anywhere), ``violated``, or
+    ``skipped`` (policy opt-out, un-enumerable state space, or no feasible
+    point — with the reason).
     """
     spec = get_spec(name)
     if not spec.is_simulated:
@@ -260,16 +330,17 @@ def verify_spec(name: str,
     points: List[Dict[str, object]] = []
     try:
         for entry in topologies:
-            chosen, reason = _select_population(
+            chosen, reduction, reason = select_point(
                 spec, entry, max_n, max_configs, config, max_states,
-                cache, forced_n=n)
+                cache, forced_n=n, symmetry=symmetry)
             if chosen is None:
                 points.append({"topology": entry, "n": None,
                                "status": SKIPPED, "skip_reason": reason})
                 continue
             protocol, encoder = cache[chosen]
             points.append(_check_point(spec, policy, entry, chosen,
-                                       protocol, encoder))
+                                       protocol, encoder,
+                                       reduction=reduction))
     except StateSpaceError as error:
         report["status"] = SKIPPED
         report["skip_reason"] = f"state space not enumerable: {error}"
@@ -298,11 +369,13 @@ def verify_all(max_n: int = DEFAULT_MAX_N,
                topology: Optional[str] = None,
                max_configs: int = DEFAULT_MAX_CONFIGS,
                config: Optional[ExperimentConfig] = None,
+               symmetry: str = "auto",
                ) -> List[Dict[str, object]]:
     """Model-check every registered simulated spec (the CI smoke's API)."""
     return [
         verify_spec(spec.name, max_n=max_n, topology=topology,
-                    max_configs=max_configs, config=config)
+                    max_configs=max_configs, config=config,
+                    symmetry=symmetry)
         for spec in list_specs() if spec.is_simulated
     ]
 

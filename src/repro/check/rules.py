@@ -32,13 +32,38 @@ REP005   No unsorted dict/set iteration feeding a digest.  Inside any
          displays) used in the digest's arguments must go through
          ``sorted(...)`` — iteration order is insertion order, which is
          history, not content.
+REP006   Snapshot completeness.  In any class that defines both
+         ``snapshot()`` and ``restore()`` (the PR-8 engine contract),
+         every ``self.x = ...`` attribute assigned in ``__init__`` must
+         be referenced by *both* methods — captured by ``snapshot()``
+         and reassigned (or mutated, e.g. ``self._scheduler.setstate``)
+         by ``restore()``.  An engine that grows a mutable field without
+         extending its snapshot silently corrupts every phased-scenario
+         resume; this rule turns that drift into a lint failure.
+         Immutable shared fields (the protocol, the population, compiled
+         transition tables) are legitimately outside the snapshot and
+         carry an ``allow`` on their ``__init__`` assignment.
 =======  ==============================================================
 
 A finding is silenced by an inline ``# repro: allow[REP001]`` comment on
 the flagged line (comma-separate to allow several rules).  Suppressions
-are deliberate: each one marks an audited exception, e.g. the state
-encoder's hashability *probe* (the value is never used) and the store
-GC's record-age arithmetic (ages are policy, not identity).
+are deliberate: each one marks an audited exception.  The audited allow
+inventory:
+
+* REP001 — the state encoder's hashability *probe* (the value is never
+  used) and ``Configuration.__hash__`` (in-process membership only).
+* REP004 — the store GC's record-age arithmetic (ages are policy, not
+  identity).  ``repro.fabric`` is in REP004 scope since PR 10: its
+  lease and retry timing deliberately uses ``time.monotonic()`` /
+  ``time.sleep()``, which the rule permits by design (durations, not
+  identity), so the fabric needs no allows at all.
+* REP006 — the engines' immutable shared fields, audited per class:
+  ``Simulation`` (protocol, population, observers — rebound, never
+  mutated mid-run), ``BatchedSimulation`` and ``NumpySimulation``
+  (protocol, population, encoder, arc list, compiled flat tables, and
+  layout constants — all invariant for the simulation's lifetime; the
+  mutable run state they parameterize — codes, stream position,
+  counters — is exactly what ``snapshot()`` captures).
 """
 
 from __future__ import annotations
@@ -262,6 +287,71 @@ def _visit_rep005(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
                                  "wrap it in sorted(...)")
 
 
+def _self_attribute_stores(function: ast.AST) -> Iterator[ast.Attribute]:
+    """``self.x`` assignment targets in one function scope."""
+    for node in _scope_walk(function):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            stack = [target]
+            while stack:
+                item = stack.pop()
+                if isinstance(item, (ast.Tuple, ast.List)):
+                    stack.extend(item.elts)
+                elif (isinstance(item, ast.Attribute)
+                      and isinstance(item.value, ast.Name)
+                      and item.value.id == "self"):
+                    yield item
+
+
+def _self_attribute_references(function: ast.AST) -> frozenset:
+    """Every ``self.x`` attribute name *touched* in one function scope —
+    loads, stores, and method receivers (``self.x.setstate(...)``) alike."""
+    names = set()
+    for node in _scope_walk(function):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            names.add(node.attr)
+    return frozenset(names)
+
+
+def _visit_rep006(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {item.name: item for item in node.body
+                   if isinstance(item, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        if not ("snapshot" in methods and "restore" in methods):
+            continue
+        init = methods.get("__init__")
+        if init is None:
+            continue
+        captured = _self_attribute_references(methods["snapshot"])
+        restored = _self_attribute_references(methods["restore"])
+        reported = set()
+        for store in _self_attribute_stores(init):
+            name = store.attr
+            if name in reported:
+                continue
+            missing = []
+            if name not in captured:
+                missing.append("snapshot()")
+            if name not in restored:
+                missing.append("restore()")
+            if missing:
+                reported.add(name)
+                yield store, (
+                    f"self.{name} is assigned in {node.name}.__init__ but "
+                    f"not referenced by {' or '.join(missing)}; mutable "
+                    "run state must round-trip through snapshot/restore "
+                    "(immutable shared fields take an explicit allow)")
+
+
 def _in_packages(*prefixes: str) -> Callable[[str], bool]:
     def applies(module: str) -> bool:
         return any(module == prefix or module.startswith(prefix + ".")
@@ -293,9 +383,10 @@ RULES: Tuple[Rule, ...] = (
     Rule(
         code="REP004",
         summary="no wall clock in result-identity paths "
-                "(executor / engines / scenario runtime / store)",
+                "(executor / engines / scenario runtime / store / fabric)",
         applies_to=_in_packages("repro.api.executor", "repro.core",
-                                "repro.scenario", "repro.store"),
+                                "repro.scenario", "repro.store",
+                                "repro.fabric"),
         visit=_visit_rep004,
     ),
     Rule(
@@ -303,6 +394,13 @@ RULES: Tuple[Rule, ...] = (
         summary="no unsorted dict/set iteration feeding a digest",
         applies_to=lambda module: True,
         visit=_visit_rep005,
+    ),
+    Rule(
+        code="REP006",
+        summary="snapshot/restore classes must round-trip every "
+                "__init__-assigned attribute",
+        applies_to=lambda module: True,
+        visit=_visit_rep006,
     ),
 )
 

@@ -272,6 +272,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="configuration-count budget per check point "
                             "(default: 1000000; larger buys bigger n at "
                             "pure-python SCC cost)")
+    check.add_argument("--max-n", type=_positive_int, default=None,
+                       metavar="N",
+                       help="population-size ceiling for largest-feasible "
+                            "selection (default: 6; symmetry reduction "
+                            "makes rings up to ~10-12 feasible)")
+    check.add_argument("--symmetry", choices=("auto", "off", "force"),
+                       default="auto",
+                       help="spend the --max-configs budget on rotation/"
+                            "translation orbits instead of raw "
+                            "configurations: auto falls back to the "
+                            "quotient when only it fits, off never "
+                            "quotients, force requires it (default: auto)")
+    check.add_argument("--quant", action="store_true",
+                       help="quantitative mode: exact expected "
+                            "convergence times (canonical / uniform / "
+                            "worst-case start) plus an executor "
+                            "cross-validation gate asserting the "
+                            "simulated mean matches the exact value")
+    check.add_argument("--quant-trials", type=_positive_int, default=None,
+                       metavar="T",
+                       help="trials the --quant cross-validation gate "
+                            "runs (default: the spec's policy, 200)")
+    check.add_argument("--z", type=_non_negative_float, default=None,
+                       metavar="Z",
+                       help="z-score tolerance of the --quant gate "
+                            "(default: the spec's policy, 4.0)")
+    check.add_argument("--no-simulate", action="store_true",
+                       help="--quant only: report exact values without "
+                            "running the executor gate")
+    check.add_argument("--engine", choices=("auto", "step", "batched",
+                                            "numpy"), default="auto",
+                       help="engine the --quant gate simulates with "
+                            "(default: auto)")
+    check.add_argument("--store", default=None, metavar="PATH",
+                       help="results store warming the --quant gate's "
+                            "trials (default: the REPRO_STORE "
+                            "environment variable)")
+    check.add_argument("--no-store-write", action="store_true",
+                       help="read the store but do not write new "
+                            "records back")
 
     cache = subparsers.add_parser(
         "cache", parents=[fmt],
@@ -681,9 +721,10 @@ def _cmd_scaling(args: argparse.Namespace) -> CommandOutput:
 
 def _cmd_check(args: argparse.Namespace) -> CommandOutput:
     from repro.check.graph import DEFAULT_MAX_CONFIGS
-    from repro.check.model import summarize, verify_all, verify_spec
+    from repro.check.model import DEFAULT_MAX_N, summarize, verify_all, verify_spec
 
     max_configs = args.max_configs or DEFAULT_MAX_CONFIGS
+    max_n = args.max_n or DEFAULT_MAX_N
     if args.protocol is not None:
         try:
             spec = get_spec(args.protocol)
@@ -698,14 +739,23 @@ def _cmd_check(args: argparse.Namespace) -> CommandOutput:
                 spec.require_topology(args.topology)
             except (ValueError, KeyError) as error:
                 raise CommandError(str(error)) from None
-        reports = [verify_spec(spec.name, topology=args.topology,
-                               n=args.n, max_configs=max_configs)]
+    elif args.n is not None:
+        raise CommandError(
+            "--n requires naming a protocol (feasible sizes differ "
+            "per spec); omit it for largest-feasible selection")
+
+    if args.quant:
+        return _cmd_check_quant(args, max_n, max_configs)
+
+    if args.protocol is not None:
+        reports = [verify_spec(args.protocol, max_n=max_n,
+                               topology=args.topology,
+                               n=args.n, max_configs=max_configs,
+                               symmetry=args.symmetry)]
     else:
-        if args.n is not None:
-            raise CommandError(
-                "--n requires naming a protocol (feasible sizes differ "
-                "per spec); omit it for largest-feasible selection")
-        reports = verify_all(topology=args.topology, max_configs=max_configs)
+        reports = verify_all(max_n=max_n, topology=args.topology,
+                             max_configs=max_configs,
+                             symmetry=args.symmetry)
 
     summary = summarize(reports)
     rows = []
@@ -739,6 +789,80 @@ def _cmd_check(args: argparse.Namespace) -> CommandOutput:
              f"{summary['skipped']} skipped")
     payload: Dict[str, object] = {
         "command": "check",
+        "reports": reports,
+        "summary": summary,
+        "_exit_code": 0 if summary["ok"] else 1,
+    }
+    return text, payload
+
+
+def _quant_cell(entry: Dict[str, object]) -> str:
+    """Render one expected-steps entry: the exact rational when the solve
+    was rational, the certified float otherwise."""
+    if entry.get("exact") is not None:
+        return f"{entry['value']:.3f}*"
+    value = entry["value"]
+    return f"{value:.3f}" if value == value else "-"
+
+
+def _cmd_check_quant(args: argparse.Namespace, max_n: int,
+                     max_configs: int) -> CommandOutput:
+    from repro.check.quant import quant_all, quant_spec, summarize_quant
+
+    store = _store_from_args(args)
+    config = ExperimentConfig(engine=args.engine)
+    common = dict(max_n=max_n, topology=args.topology,
+                  max_configs=max_configs, config=config,
+                  symmetry=args.symmetry, simulate=not args.no_simulate,
+                  trials=args.quant_trials, z_threshold=args.z,
+                  store=store)
+    if args.protocol is not None:
+        reports = [quant_spec(args.protocol, n=args.n, **common)]
+    else:
+        reports = quant_all(**common)
+
+    summary = summarize_quant(reports)
+    rows = []
+    for report in reports:
+        if not report.get("points"):
+            rows.append((report["spec"], "-", "-", "-", "-", "-", "-", "-",
+                         "-", "-", f"skipped: {report.get('skip_reason', '')}"))
+            continue
+        for point in report["points"]:
+            if point["status"] == "skipped" and "solver" not in point:
+                rows.append((report["spec"], point["topology"],
+                             point.get("n") or "-", "-", "-", "-", "-", "-",
+                             "-", "-",
+                             f"skipped: {point.get('skip_reason', '')}"))
+                continue
+            expected = point["expected_steps"]
+            gate = point.get("cross_validation", {})
+            z = gate.get("z")
+            rows.append((
+                report["spec"], point["topology"], point["n"],
+                point["analyzed_nodes"], point["solver"]["method"],
+                _quant_cell(expected["canonical"]),
+                _quant_cell(expected["uniform"]),
+                _quant_cell(expected["worst"]),
+                ("-" if gate.get("simulated_mean") is None
+                 else f"{gate['simulated_mean']:.3f}"),
+                "-" if z is None else f"{z:.2f}",
+                point["status"],
+            ))
+    text = format_table(
+        headers=["spec", "topology", "n", "nodes", "solver", "E[canonical]",
+                 "E[uniform]", "E[worst]", "sim-mean", "z", "status"],
+        rows=rows,
+        title=f"exact expected convergence times ({summary['specs']} "
+              "spec(s); * = exact rational)",
+    )
+    verdict = ("all gates pass" if summary["ok"]
+               else f"{summary['violated']} spec(s) VIOLATED")
+    text += (f"\n{verdict}: {summary['verified']} verified, "
+             f"{summary['skipped']} skipped")
+    payload: Dict[str, object] = {
+        "command": "check",
+        "mode": "quant",
         "reports": reports,
         "summary": summary,
         "_exit_code": 0 if summary["ok"] else 1,

@@ -130,22 +130,24 @@ class BatchedSimulation(Generic[StateT]):
                 f"configuration has {len(initial)} agents but the population has "
                 f"{population.size}"
             )
-        self._protocol = protocol
-        self._population = population
-        self._encoder = encoder if encoder is not None else StateEncoder.build(
+        # Shared immutable structure (protocol, topology, compiled tables):
+        # identical across snapshot/restore, so not part of the run state.
+        self._protocol = protocol  # repro: allow[REP006]
+        self._population = population  # repro: allow[REP006]
+        self._encoder = encoder if encoder is not None else StateEncoder.build(  # repro: allow[REP006]
             protocol, initial.states(), max_states=max_states
         )
         self._codes: List[int] = self._encoder.encode_all(initial.states())
         self._scheduler = scheduler
         self._rng = None if scheduler is not None else ensure_source(rng)
-        self._num_arcs = population.num_arcs
+        self._num_arcs = population.num_arcs  # repro: allow[REP006]
         # Index an arc list only when the population already has one; lazy
         # populations (large complete graphs) stay allocation-free via the
         # closed-form arc_by_index path.
-        self._arc_list = population.arcs if population.has_materialized_arcs else None
+        self._arc_list = population.arcs if population.has_materialized_arcs else None  # repro: allow[REP006]
         tables = self._encoder.tables()
-        self._initiator_out, self._responder_out, self._changed, self._leader_delta = tables
-        self._width = self._encoder.num_states
+        self._initiator_out, self._responder_out, self._changed, self._leader_delta = tables  # repro: allow[REP006]
+        self._width = self._encoder.num_states  # repro: allow[REP006]
         leader_flags = self._encoder.leader_flags()
         self._leaders = sum(leader_flags[code] for code in self._codes)
         self._total_steps = 0
@@ -590,24 +592,27 @@ class NumpySimulation(Generic[StateT]):
                 f"configuration has {len(initial)} agents but the population has "
                 f"{population.size}"
             )
-        self._numpy = numpy
-        self._protocol = protocol
-        self._population = population
-        self._encoder = encoder if encoder is not None else StateEncoder.build(
+        # Shared immutable structure (module handle, protocol, topology,
+        # compiled tables, layout constants, read-only scratch index
+        # vectors): identical across snapshot/restore by construction.
+        self._numpy = numpy  # repro: allow[REP006]
+        self._protocol = protocol  # repro: allow[REP006]
+        self._population = population  # repro: allow[REP006]
+        self._encoder = encoder if encoder is not None else StateEncoder.build(  # repro: allow[REP006]
             protocol, initial.states(), max_states=max_states
         )
         self._codes = numpy.array(self._encoder.encode_all(initial.states()),
                                   dtype=numpy.int64)
         tables = self._encoder.numpy_tables()
-        self._initiator_out = tables["initiator_out"]
-        self._responder_out = tables["responder_out"]
-        self._changed = tables["changed"]
-        self._leader_delta = tables["leader_delta"]
-        self._width = self._encoder.num_states
+        self._initiator_out = tables["initiator_out"]  # repro: allow[REP006]
+        self._responder_out = tables["responder_out"]  # repro: allow[REP006]
+        self._changed = tables["changed"]  # repro: allow[REP006]
+        self._leader_delta = tables["leader_delta"]  # repro: allow[REP006]
+        self._width = self._encoder.num_states  # repro: allow[REP006]
         self._leaders = int(tables["leader_flags"][self._codes].sum())
         self._scheduler = scheduler
         self._draws = None if scheduler is not None else _BlockDraws(ensure_source(rng))
-        self._num_arcs = population.num_arcs
+        self._num_arcs = population.num_arcs  # repro: allow[REP006]
         size = population.size
         self._interactions = numpy.zeros(size, dtype=numpy.int64)
         self._total_steps = 0
@@ -615,14 +620,15 @@ class NumpySimulation(Generic[StateT]):
         # Half the population size balances conflict-layer count (which
         # grows with block/n) against per-block fixed costs (measured
         # optimum on the ring benchmarks), inside the global clamps.
-        self._block = max(_MIN_NUMPY_BLOCK, min(_MAX_NUMPY_BLOCK, size // 2))
+        self._block = max(_MIN_NUMPY_BLOCK, min(_MAX_NUMPY_BLOCK, size // 2))  # repro: allow[REP006]
         # Scratch arrays reused across blocks (see _apply_block); int32 —
         # they hold in-block positions, never agent indices — to halve the
-        # per-pass fill/scatter/gather traffic.
-        self._first_initiator = numpy.empty(size, dtype=numpy.int32)
-        self._first_responder = numpy.empty(size, dtype=numpy.int32)
-        self._ascending = numpy.arange(self._block, dtype=numpy.int32)
-        self._descending = self._ascending[::-1].copy()
+        # per-pass fill/scatter/gather traffic.  Overwritten before every
+        # read, so they carry no run state across a restore.
+        self._first_initiator = numpy.empty(size, dtype=numpy.int32)  # repro: allow[REP006]
+        self._first_responder = numpy.empty(size, dtype=numpy.int32)  # repro: allow[REP006]
+        self._ascending = numpy.arange(self._block, dtype=numpy.int32)  # repro: allow[REP006]
+        self._descending = self._ascending[::-1].copy()  # repro: allow[REP006]
 
     # ------------------------------------------------------------------ #
     # Accessors (mirroring BatchedSimulation)

@@ -96,12 +96,15 @@ class Simulation(Generic[StateT]):
                 f"configuration has {len(initial)} agents but the population has "
                 f"{population.size}"
             )
-        self._protocol = protocol
-        self._population = population
+        # Protocol and population are shared immutable structure; observers
+        # are attachments of the *driver*, not of the simulated run, and
+        # deliberately survive a restore un-rewound.
+        self._protocol = protocol  # repro: allow[REP006]
+        self._population = population  # repro: allow[REP006]
         self._states: List[StateT] = initial.states()
         self._scheduler = scheduler or UniformRandomScheduler(population, rng)
         self._metrics = StepMetrics()
-        self._observers: List[InteractionObserver] = []
+        self._observers: List[InteractionObserver] = []  # repro: allow[REP006]
         self._total_steps = 0
 
     # ------------------------------------------------------------------ #

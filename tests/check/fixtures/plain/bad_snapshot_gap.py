@@ -1,0 +1,41 @@
+"""REP006 fixture: an engine-shaped class whose snapshot/restore pair
+misses mutable ``__init__`` state."""
+
+
+class LeakyEngine:
+    def __init__(self, table):
+        self._table = table  # repro: allow[REP006]
+        self._steps = 0
+        self._cursor = 0  # captured but never restored
+        self._tally = 0  # restored but never captured
+
+    def snapshot(self):
+        return (self._steps, self._cursor)
+
+    def restore(self, state):
+        self._steps, self._tally = state
+
+
+class RoundTripEngine:
+    """Clean: every mutable field flows through both methods."""
+
+    def __init__(self, source):
+        self._source = source
+        self._steps = 0
+
+    def snapshot(self):
+        return (self._steps, self._source.getstate())
+
+    def restore(self, state):
+        self._steps = state[0]
+        self._source.setstate(state[1])
+
+
+class NotAnEngine:
+    """No restore(): the rule must not apply at all."""
+
+    def __init__(self):
+        self._hidden = 1
+
+    def snapshot(self):
+        return ()

@@ -117,3 +117,41 @@ def test_check_violation_sets_the_exit_code(capsys):
     (report,) = payload["reports"]
     assert report["points"][0]["checks"]["closure"]["status"] == "violated"
     assert "example" in report["points"][0]["checks"]["closure"]
+
+
+def test_parser_accepts_quant_options():
+    args = build_parser().parse_args(
+        ["check", "yokota2021", "--quant", "--n", "2", "--symmetry", "force",
+         "--quant-trials", "50", "--z", "5.0", "--no-simulate",
+         "--engine", "batched", "--format", "json"])
+    assert args.quant is True
+    assert args.symmetry == "force"
+    assert args.quant_trials == 50 and args.z == 5.0
+    assert args.no_simulate is True and args.engine == "batched"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["check", "--symmetry", "sometimes"])
+
+
+def test_check_quant_json_reports_exact_times(capsys):
+    assert main(["check", "yokota2021", "--quant", "--n", "2",
+                 "--quant-trials", "50", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["command"] == "check" and payload["mode"] == "quant"
+    assert payload["summary"]["ok"] is True
+    (report,) = payload["reports"]
+    assert report["status"] == "verified"
+    (point,) = [p for p in report["points"]
+                if p["topology"] == "directed-ring"]
+    steps = point["expected_steps"]
+    assert steps["worst"]["value"] >= steps["uniform"]["value"] > 0
+    verdict = point["cross_validation"]
+    assert verdict["status"] == "verified"
+    assert verdict["trials"] == 50
+    assert verdict["z"] <= verdict["threshold"]
+
+
+def test_check_quant_text_renders_the_table(capsys):
+    assert main(["check", "yokota2021", "--quant", "--n", "2",
+                 "--no-simulate"]) == 0
+    out = capsys.readouterr().out
+    assert "E[worst]" in out and "directed-ring" in out

@@ -152,3 +152,64 @@ def test_default_target_is_the_installed_package(capsys):
     # No path argument lints src/repro itself — the CI gate invocation.
     assert main([]) == 0
     assert "clean" in capsys.readouterr().out
+
+
+def test_rep004_scope_covers_the_fabric():
+    # Fabric results (claims, receipts, merged sweep rows) flow back into
+    # the store, so the fabric is a result-identity path too.  Its lease
+    # and retry timing uses time.monotonic()/time.sleep(), which the rule
+    # permits by design — the shipped fabric needs no allows at all.
+    wall = "import time\nt = time.time()\n"
+    assert len(lint_source(wall, module="repro.fabric.coordinator")) == 1
+    assert len(lint_source(wall, module="repro.fabric.worker")) == 1
+    monotonic = ("import time\n"
+                 "deadline = time.monotonic() + 5\n"
+                 "time.sleep(0.1)\n")
+    assert lint_source(monotonic, module="repro.fabric.retry") == []
+
+
+def test_rep006_flags_snapshot_restore_gaps():
+    findings = lint_file(FIXTURES / "plain" / "bad_snapshot_gap.py")
+    assert [finding.rule for finding in findings] == ["REP006", "REP006"]
+    # One finding per direction of the gap, anchored on the __init__
+    # assignment so the allow comment lands where the field is born.
+    messages = {finding.message for finding in findings}
+    assert any("_cursor" in m and "restore()" in m for m in messages)
+    assert any("_tally" in m and "snapshot()" in m for m in messages)
+
+
+def test_rep006_counts_method_receivers_as_references():
+    # `self._scheduler.setstate(...)` in restore() is how the step engine
+    # reinstates its scheduler — a Load on self._scheduler, not a Store.
+    source = (
+        "class Engine:\n"
+        "    def __init__(self, scheduler):\n"
+        "        self._scheduler = scheduler\n"
+        "    def snapshot(self):\n"
+        "        return self._scheduler.getstate()\n"
+        "    def restore(self, state):\n"
+        "        self._scheduler.setstate(state)\n")
+    assert lint_source(source, module="engine") == []
+
+
+def test_rep006_ignores_classes_without_the_contract():
+    # Only snapshot+restore pairs opt a class into the rule.
+    partial = (
+        "class Half:\n"
+        "    def __init__(self):\n"
+        "        self._x = 1\n"
+        "    def snapshot(self):\n"
+        "        return ()\n")
+    assert lint_source(partial, module="half") == []
+    # Tuple-unpack targets are individually tracked.
+    unpack = (
+        "class Pair:\n"
+        "    def __init__(self, t):\n"
+        "        self._a, self._b = t\n"
+        "    def snapshot(self):\n"
+        "        return (self._a,)\n"
+        "    def restore(self, state):\n"
+        "        (self._a,) = state\n")
+    findings = lint_source(unpack, module="pair")
+    assert [finding.rule for finding in findings] == ["REP006"]
+    assert "_b" in findings[0].message

@@ -1,0 +1,243 @@
+"""Quantitative checker: quotient-vs-full equivalence, the symmetry
+budget extension past the full-enumeration wall, and the z-gate."""
+
+import math
+from typing import Tuple
+
+import pytest
+
+from repro.api.config import ExperimentConfig
+from repro.api.registry import (
+    CheckPolicy,
+    ProtocolSpec,
+    register,
+    unregister,
+)
+from repro.check.quant import quant_spec, summarize_quant, z_score
+from repro.check.symmetry import RotationSymmetry
+from repro.core.configuration import Configuration
+from repro.core.protocol import Protocol
+
+
+class _MaxPropProtocol(Protocol):
+    """Max propagation over ``q`` values: the responder adopts the max.
+
+    The all-equal configurations are a closed legal set reachable from
+    every start, so expected hitting times are finite chain-wide — and
+    hand-computable on tiny rings.
+    """
+
+    def __init__(self, name: str, num_values: int) -> None:
+        self.name = name
+        self._num_values = num_values
+
+    def transition(self, initiator, responder) -> Tuple[int, int]:
+        return initiator, max(initiator, responder)
+
+    def output(self, state) -> str:
+        return "L" if state == self._num_values - 1 else "F"
+
+    def random_state(self, rng) -> int:
+        return rng.randint(0, self._num_values - 1)
+
+    def state_space_size(self) -> int:
+        return self._num_values
+
+    def canonical_states(self):
+        return tuple(range(self._num_values))
+
+
+def _random_family(protocol, n, rng):
+    return Configuration([protocol.random_state(rng) for _ in range(n)])
+
+
+def _all_equal(states) -> bool:
+    return len(set(states)) == 1
+
+
+def _max_prop_spec(name: str, num_values: int,
+                   families=None) -> ProtocolSpec:
+    return ProtocolSpec(
+        name=name,
+        summary=f"toy max-propagation spec {name} (quant tests)",
+        factory=lambda n, config: _MaxPropProtocol(name, num_values),
+        families=families or {"adversarial": _random_family},
+        stop_predicate=lambda protocol: _all_equal,
+        check=CheckPolicy(quant_trials=40),
+    )
+
+
+@pytest.fixture
+def toy_spec():
+    registered = []
+
+    def make(spec: ProtocolSpec) -> str:
+        register(spec)
+        registered.append(spec.name)
+        return spec.name
+
+    yield make
+    for name in registered:
+        unregister(name)
+
+
+def _point(report, topology):
+    (point,) = [p for p in report["points"] if p["topology"] == topology]
+    return point
+
+
+# --------------------------------------------------------------------- #
+# quotient == full, per topology, at every co-feasible n
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("topology,sizes", [
+    ("directed-ring", (2, 3, 4, 5, 6)),
+    ("undirected-ring", (3, 4, 5, 6)),
+    ("torus", (9,)),
+])
+def test_quotient_matches_full_at_every_cofeasible_n(toy_spec, topology,
+                                                     sizes):
+    name = toy_spec(_max_prop_spec(f"quant-eq-{topology}", 2))
+    for n in sizes:
+        full = quant_spec(name, topology=topology, n=n, symmetry="off",
+                          simulate=False)
+        quotient = quant_spec(name, topology=topology, n=n,
+                              symmetry="force", simulate=False)
+        full_point = _point(full, topology)
+        quotient_point = _point(quotient, topology)
+        assert full_point["status"] == quotient_point["status"] == "verified"
+        assert quotient_point["analyzed_nodes"] \
+            < full_point["analyzed_nodes"] or n <= 2
+        assert quotient_point["num_configs"] == full_point["num_configs"]
+        # Identical hitting times: exact rationals where both solves are
+        # exact, else to the iterative certificate.
+        for key in ("canonical", "uniform", "worst"):
+            mine = full_point["expected_steps"][key]
+            theirs = quotient_point["expected_steps"][key]
+            if mine["exact"] is not None and theirs["exact"] is not None:
+                assert mine["exact"] == theirs["exact"], (topology, n, key)
+            assert math.isclose(mine["value"], theirs["value"],
+                                rel_tol=1e-6, abs_tol=1e-6), (topology, n, key)
+        assert full_point["num_legal"] > 0
+        assert quotient_point["num_legal"] > 0
+
+
+def test_quotient_matches_full_on_a_real_spec():
+    # yokota2021 at n=2: 9216 configurations vs 4656 orbits, same chain.
+    full = quant_spec("yokota2021", topology="directed-ring", n=2,
+                      symmetry="off", simulate=False)
+    quotient = quant_spec("yokota2021", topology="directed-ring", n=2,
+                          symmetry="force", simulate=False)
+    full_point = _point(full, "directed-ring")
+    quotient_point = _point(quotient, "directed-ring")
+    assert full_point["status"] == quotient_point["status"] == "verified"
+    assert quotient_point["reduction"]["group"] == "ring-rotation(Z_2)"
+    for key in ("canonical", "uniform", "worst"):
+        assert math.isclose(
+            full_point["expected_steps"][key]["value"],
+            quotient_point["expected_steps"][key]["value"],
+            rel_tol=1e-6, abs_tol=1e-6), key
+
+
+def test_hand_computed_expected_times_on_the_tiny_ring(toy_spec):
+    # Two agents, two values, m = 2 arcs: from (0, 1) or (1, 0) exactly
+    # one arc moves (the responder adopting the max), so h = 2 exactly,
+    # and the uniform mean over all four starts is (0 + 2 + 2 + 0)/4 = 1.
+    name = toy_spec(_max_prop_spec("quant-hand", 2))
+    report = quant_spec(name, topology="directed-ring", n=2,
+                        symmetry="off", simulate=False)
+    point = _point(report, "directed-ring")
+    assert point["status"] == "verified"
+    assert point["solver"]["method"] == "exact"
+    assert point["expected_steps"]["uniform"]["exact"] == "1"
+    assert point["expected_steps"]["worst"]["value"] == 2.0
+    assert point["unreachable"] == 0
+
+
+# --------------------------------------------------------------------- #
+# the budget extension: n >= 9 on the ring under the default budget
+# --------------------------------------------------------------------- #
+
+def test_symmetry_extends_the_feasible_ring_past_full_enumeration(toy_spec):
+    # q = 5 at n = 9: 5^9 = 1,953,125 configurations — over the default
+    # 1e6 budget, so full enumeration is refused — but only 217,045
+    # rotation orbits, which fit.  The worst start seeds a single 1 in a
+    # field of 0s: E = n(n-1) on the directed ring.
+    name = toy_spec(_max_prop_spec("quant-reach", 5))
+    refused = quant_spec(name, topology="directed-ring", n=9,
+                         symmetry="off", simulate=False)
+    assert _point(refused, "directed-ring")["status"] == "skipped"
+
+    report = quant_spec(name, topology="directed-ring", n=9,
+                        symmetry="auto", simulate=False)
+    point = _point(report, "directed-ring")
+    assert point["status"] == "verified"
+    assert point["num_configs"] == 5 ** 9
+    assert point["analyzed_nodes"] == RotationSymmetry(9).orbit_count(5)
+    assert point["reduction"]["group"] == "ring-rotation(Z_9)"
+    assert point["solver"]["certified"]
+    assert math.isclose(point["expected_steps"]["worst"]["value"], 72.0,
+                        abs_tol=1e-5)
+
+
+# --------------------------------------------------------------------- #
+# the cross-validation gate
+# --------------------------------------------------------------------- #
+
+def test_gate_passes_on_an_honest_spec(toy_spec):
+    name = toy_spec(_max_prop_spec("quant-gate", 3))
+    report = quant_spec(name, topology="directed-ring", n=3)
+    point = _point(report, "directed-ring")
+    assert point["status"] == "verified"
+    verdict = point["cross_validation"]
+    assert verdict["status"] == "verified"
+    assert verdict["trials"] == 40
+    assert verdict["z"] <= verdict["threshold"]
+    assert math.isclose(verdict["exact_mean"],
+                        verdict["simulated_mean"],
+                        abs_tol=6 * max(verdict["stderr"], 1e-9) + 1e-9)
+    # Same seed, same tasks: the gate is deterministic end to end.
+    repeat = quant_spec(name, topology="directed-ring", n=3)
+    assert _point(repeat, "directed-ring")["cross_validation"] == verdict
+
+
+def test_gate_flags_starts_that_cannot_converge(toy_spec):
+    # A family pinned to a start with infinite expected time must turn
+    # the point VIOLATED before any trial is spent: legal here is
+    # "everyone outputs L", unreachable from the all-zeros start.
+    spec = ProtocolSpec(
+        name="quant-stuck",
+        summary="toy spec whose only family start cannot converge",
+        factory=lambda n, config: _MaxPropProtocol("quant-stuck", 2),
+        families={"adversarial":
+                  lambda protocol, n, rng: Configuration([0] * n)},
+        stop_predicate=lambda protocol: (
+            lambda states: all(state == 1 for state in states)),
+        check=CheckPolicy(quant_trials=5),
+    )
+    name = toy_spec(spec)
+    report = quant_spec(name, topology="directed-ring", n=3)
+    point = _point(report, "directed-ring")
+    assert point["status"] == "violated"
+    assert report["status"] == "violated"
+    assert "note" in point["cross_validation"]
+    summary = summarize_quant([report])
+    assert summary["violated"] == 1 and not summary["ok"]
+
+
+def test_z_score_statistics():
+    result = z_score([4, 6], 5.0)
+    assert result["simulated_mean"] == 5.0
+    assert math.isclose(result["stderr"], 1.0)
+    assert result["z"] == 0.0
+    # Deterministic trials must match the exact mean, err, exactly.
+    assert z_score([7, 7, 7], 7.0)["z"] == 0.0
+    assert math.isinf(z_score([7, 7, 7], 7.5)["z"])
+    assert z_score([4, 6], 6.0)["z"] == 1.0
+    with pytest.raises(ValueError):
+        z_score([], 1.0)
+
+
+def test_analytic_specs_are_rejected():
+    with pytest.raises(ValueError):
+        quant_spec("chen-chen")

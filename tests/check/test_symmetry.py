@@ -1,0 +1,199 @@
+"""Symmetry groups and the quotient graph: canonization, Burnside counts,
+FKM representative generation, and lumpability of the quotient."""
+
+from itertools import product
+
+import pytest
+
+from repro.check.graph import ConfigurationGraph
+from repro.check.symmetry import (
+    QuotientGraph,
+    RotationSymmetry,
+    TranslationSymmetry,
+    symmetry_for,
+)
+from repro.core.errors import InvalidParameterError
+from repro.topology.complete import CompleteGraph
+from repro.topology.ring import DirectedRing, UndirectedRing
+from repro.topology.torus import Torus2D
+
+
+def brute_orbits(symmetry, num_states, size):
+    """Ground truth: orbit partition by exhaustive enumeration."""
+    orbits = {}
+    for digits in product(range(num_states), repeat=size):
+        orbits.setdefault(symmetry.canonize(digits), set()).add(digits)
+    return orbits
+
+
+# --------------------------------------------------------------------- #
+# rotation group
+# --------------------------------------------------------------------- #
+
+def test_rotation_canonize_is_the_minimal_rotation():
+    group = RotationSymmetry(4)
+    assert group.canonize((2, 0, 1, 0)) == (0, 1, 0, 2)
+    assert group.canonize((0, 0, 0, 0)) == (0, 0, 0, 0)
+    # Canonization is idempotent and orbit-constant.
+    for image in group.images((2, 0, 1, 0)):
+        assert group.canonize(image) == (0, 1, 0, 2)
+
+
+@pytest.mark.parametrize("num_states,size", [(2, 1), (2, 5), (3, 4), (4, 3),
+                                             (2, 8), (5, 2)])
+def test_rotation_representatives_match_brute_force(num_states, size):
+    group = RotationSymmetry(size)
+    expected = brute_orbits(group, num_states, size)
+    generated = list(group.representatives(num_states))
+    # FKM yields exactly the canonical forms, in lexicographic order,
+    # and Burnside's lemma predicts how many there are.
+    assert generated == sorted(expected)
+    assert len(generated) == group.orbit_count(num_states)
+    # Orbit sizes partition the full space.
+    assert sum(group.orbit_size(rep) for rep in generated) \
+        == num_states ** size
+    for rep, members in expected.items():
+        assert group.orbit_size(rep) == len(members)
+
+
+def test_rotation_orbit_size_divides_the_group_order():
+    group = RotationSymmetry(6)
+    assert group.orbit_size((0, 0, 0, 0, 0, 0)) == 1
+    assert group.orbit_size((0, 1, 0, 1, 0, 1)) == 2
+    assert group.orbit_size((0, 0, 1, 0, 0, 1)) == 3
+    assert group.orbit_size((0, 0, 0, 0, 0, 1)) == 6
+
+
+def test_rotation_rejects_empty_rings():
+    with pytest.raises(InvalidParameterError):
+        RotationSymmetry(0)
+
+
+# --------------------------------------------------------------------- #
+# translation group
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("num_states,width,height", [(2, 2, 2), (2, 3, 2),
+                                                     (3, 2, 2), (2, 2, 3)])
+def test_translation_representatives_match_brute_force(num_states, width,
+                                                       height):
+    group = TranslationSymmetry(width, height)
+    expected = brute_orbits(group, num_states, width * height)
+    generated = list(group.representatives(num_states))
+    assert sorted(generated) == sorted(expected)
+    assert len(generated) == group.orbit_count(num_states)
+    assert sum(group.orbit_size(rep) for rep in generated) \
+        == num_states ** (width * height)
+
+
+def test_translation_canonize_is_orbit_constant():
+    group = TranslationSymmetry(3, 2)
+    start = (1, 0, 2, 0, 0, 1)
+    images = set(group.images(start))
+    assert {group.canonize(image) for image in images} \
+        == {group.canonize(start)}
+    assert group.orbit_size(start) == len(images)
+
+
+# --------------------------------------------------------------------- #
+# group selection
+# --------------------------------------------------------------------- #
+
+def test_symmetry_for_picks_the_topologys_group():
+    assert isinstance(symmetry_for(DirectedRing(5)), RotationSymmetry)
+    assert isinstance(symmetry_for(UndirectedRing(4)), RotationSymmetry)
+    torus = symmetry_for(Torus2D(3, 3))
+    assert isinstance(torus, TranslationSymmetry)
+    assert torus.group_size == 9
+    # The complete graph's S_n action is not implemented: no reduction.
+    assert symmetry_for(CompleteGraph(4)) is None
+
+
+# --------------------------------------------------------------------- #
+# quotient graph
+# --------------------------------------------------------------------- #
+
+def ring_graph(num_states, num_agents, rule):
+    """Configuration graph of an anonymous rule on the directed ring."""
+    width = num_states
+    initiator_out, responder_out, changed = [], [], []
+    for i in range(width):
+        for r in range(width):
+            out_i, out_r = rule(i, r)
+            initiator_out.append(out_i)
+            responder_out.append(out_r)
+            changed.append((out_i, out_r) != (i, r))
+    return ConfigurationGraph(
+        num_states, num_agents, DirectedRing(num_agents).arcs,
+        initiator_out, responder_out, changed)
+
+
+def max_rule(i, r):
+    return i, max(i, r)
+
+
+def test_quotient_successor_distribution_is_lumped_exactly():
+    # Lumpability: for every orbit O and target orbit O', the number of
+    # moving arcs leading from ANY member of O into O' equals the count
+    # measured from the representative.  Checked exhaustively at q=3, n=4.
+    graph = ring_graph(3, 4, max_rule)
+    group = RotationSymmetry(4)
+    quotient = QuotientGraph(graph, group)
+
+    def orbit_histogram(cid):
+        histogram = {}
+        for successor in graph.successors(cid):
+            orbit = quotient.orbit_of(graph.digits(successor))
+            histogram[orbit] = histogram.get(orbit, 0) + 1
+        return histogram
+
+    for orbit in range(quotient.num_configs):
+        representative = quotient.representative(orbit)
+        expected = orbit_histogram(representative)
+        for image in group.images(graph.digits(representative)):
+            assert orbit_histogram(graph.encode(image)) == expected
+
+
+def test_quotient_keeps_moving_self_entries():
+    # Under a swap rule the configuration (0, 1) steps to its rotation
+    # mate (1, 0) via one *moving* arc — an arc that stays inside its own
+    # orbit.  The quotient must keep that entry (it is real probability
+    # mass), unlike the lazy self-loops the full graph skips.
+    graph = ring_graph(2, 2, lambda i, r: (r, i))
+    quotient = QuotientGraph(graph, RotationSymmetry(2))
+    orbit = quotient.orbit_of((0, 1))
+    assert orbit in quotient.successors(orbit)
+
+
+def test_quotient_counts_and_delegation():
+    graph = ring_graph(3, 4, max_rule)
+    quotient = QuotientGraph(graph, RotationSymmetry(4))
+    assert quotient.full_configs == 3 ** 4
+    assert quotient.num_configs == RotationSymmetry(4).orbit_count(3)
+    assert sum(quotient.orbit_sizes) == 3 ** 4
+    assert quotient.num_states == 3 and quotient.num_agents == 4
+    assert quotient.arcs == graph.arcs
+
+
+def test_quotient_legal_mask_accepts_invariant_predicates():
+    graph = ring_graph(2, 4, max_rule)
+    quotient = QuotientGraph(graph, RotationSymmetry(4))
+    mask = quotient.legal_mask(lambda states: all(s == 1 for s in states),
+                               [0, 1])
+    assert sum(mask) == 1
+    legal_orbit = mask.index(1)
+    assert tuple(quotient.digits(legal_orbit)) == (1, 1, 1, 1)
+
+
+def test_quotient_legal_mask_rejects_identity_reading_predicates():
+    graph = ring_graph(2, 4, max_rule)
+    quotient = QuotientGraph(graph, RotationSymmetry(4))
+    with pytest.raises(InvalidParameterError):
+        # "Agent 0 holds a 1" is not rotation-invariant.
+        quotient.legal_mask(lambda states: states[0] == 1, [0, 1])
+
+
+def test_quotient_rejects_size_mismatched_groups():
+    graph = ring_graph(2, 4, max_rule)
+    with pytest.raises(InvalidParameterError):
+        QuotientGraph(graph, RotationSymmetry(5))
